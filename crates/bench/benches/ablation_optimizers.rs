@@ -1,0 +1,70 @@
+//! Ablation: the paper trains everything with RMSprop (Table I) and names
+//! "SGD, RMSprop, ADAELTA" as the applicable optimizer family
+//! (Section III). This bench trains the same small Pelican with each and
+//! compares convergence.
+
+use pelican_bench::{banner, render_table};
+use pelican_core::experiment::{prepare_split, DatasetKind, ExpConfig};
+use pelican_core::models::{build_network, NetConfig};
+use pelican_nn::loss::SoftmaxCrossEntropy;
+use pelican_nn::optim::{AdaDelta, Adam, Optimizer, RmsProp, Sgd};
+use pelican_nn::{Trainer, TrainerConfig};
+
+fn main() {
+    banner("Ablation: optimizer choice (small Pelican, NSL-KDD)");
+    let mut cfg = ExpConfig::scaled(DatasetKind::NslKdd);
+    cfg.samples = cfg.samples.min(1500);
+    cfg.epochs = cfg.epochs.min(6);
+    let split = prepare_split(&cfg);
+
+    let optimizers: Vec<(&str, Box<dyn Optimizer>)> = vec![
+        ("RMSprop (paper)", Box::new(RmsProp::new(0.01))),
+        ("SGD", Box::new(Sgd::new(0.01))),
+        ("SGD+momentum", Box::new(Sgd::with_momentum(0.01, 0.9))),
+        ("Adam", Box::new(Adam::new(0.001))),
+        ("AdaDelta", Box::new(AdaDelta::new())),
+    ];
+
+    let mut rows = Vec::new();
+    for (name, mut opt) in optimizers {
+        eprintln!("[ablation] {name} …");
+        let mut net = build_network(&NetConfig {
+            in_features: cfg.dataset.encoded_width(),
+            classes: cfg.dataset.classes(),
+            blocks: 3,
+            residual: true,
+            kernel: cfg.kernel,
+            dropout: cfg.dropout,
+            seed: cfg.seed,
+        });
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            shuffle_seed: 1,
+            verbose: false,
+            ..Default::default()
+        });
+        let hist = trainer.fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut *opt,
+            &split.x_train,
+            &split.y_train,
+            Some((&split.x_test, &split.y_test)),
+        );
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", hist.final_train_loss().unwrap_or(f32::NAN)),
+            format!("{:.4}", hist.final_test_acc().unwrap_or(f32::NAN)),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(&["Optimizer", "final train loss", "final test acc"], &rows)
+    );
+    println!(
+        "\nExpected shape: the adaptive optimizers (RMSprop/Adam) converge in\n\
+         the epoch budget; plain SGD at the paper's lr=0.01 trails badly on a\n\
+         network this deep — which is why the paper uses RMSprop."
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates **Fig. 2: Performance degradation in training DNN for
+//! network intrusion detection** — LuNet training/testing accuracy on
+//! UNSW-NB15 as the parameter-layer count grows.
+
+use pelican_bench::{banner, render_series};
+use pelican_core::experiment::{cached_run, Arch, DatasetKind, ExpConfig};
+
+fn main() {
+    banner("Fig. 2: LuNet accuracy vs depth on UNSW-NB15 (degradation)");
+    let mut cfg = ExpConfig::scaled(DatasetKind::UnswNb15);
+    // The degradation onset is visible well before full convergence; a
+    // reduced epoch budget keeps the six-depth sweep tractable.
+    cfg.epochs = cfg.epochs.min(10);
+    // LuNet is the plain CNN+GRU block stack; depth in parameter layers is
+    // 4·blocks + 1. The paper sweeps 5..40 layers; we sample the same range.
+    let depths = [1usize, 2, 4, 6, 8, 10];
+    let mut layers = Vec::new();
+    let mut train_acc = Vec::new();
+    let mut test_acc = Vec::new();
+    for &blocks in &depths {
+        let arch = Arch::Plain { blocks };
+        eprintln!("[fig2] LuNet with {} parameter layers …", arch.param_layers());
+        let r = cached_run(arch, &cfg);
+        let last = r.history.epochs.last().expect("at least one epoch");
+        layers.push(arch.param_layers() as f32);
+        train_acc.push(last.train_acc);
+        test_acc.push(last.test_acc.unwrap_or(f32::NAN));
+    }
+    println!("parameter_layers,train_accuracy,test_accuracy");
+    for i in 0..depths.len() {
+        println!("{},{:.4},{:.4}", layers[i] as usize, train_acc[i], test_acc[i]);
+    }
+    let _ = render_series; // series helper used by the fig5 benches
+
+    let peak_train = train_acc.iter().cloned().fold(f32::MIN, f32::max);
+    let last_train = *train_acc.last().expect("nonempty");
+    println!(
+        "\nPaper shape (Fig. 2a/2b): accuracy rises to a peak around 20-ish\n\
+         layers, then *degrades* as depth grows (the motivation for residual\n\
+         learning). Measured: peak train accuracy {:.4}, train accuracy at\n\
+         41 layers {:.4} → degradation of {:.4}.",
+        peak_train,
+        last_train,
+        peak_train - last_train
+    );
+}

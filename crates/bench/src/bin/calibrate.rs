@@ -1,0 +1,35 @@
+//! Quick calibration runner: trains a chosen architecture at the scaled
+//! config and prints metrics + timing. Used to tune generator hardness and
+//! default experiment sizes.
+use pelican_core::experiment::{run_network, Arch, DatasetKind, ExpConfig};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let dataset = match args.get(1).map(String::as_str) {
+        Some("unsw") => DatasetKind::UnswNb15,
+        _ => DatasetKind::NslKdd,
+    };
+    let blocks: usize = args.get(2).and_then(|v| v.parse().ok()).unwrap_or(5);
+    let residual = args.get(3).map(String::as_str) != Some("plain");
+    let cfg = ExpConfig::scaled(dataset);
+    eprintln!("config: {cfg:?}");
+    let arch = if residual { Arch::Residual { blocks } } else { Arch::Plain { blocks } };
+    let t0 = Instant::now();
+    let r = run_network(arch, &cfg);
+    let dt = t0.elapsed();
+    println!(
+        "{} on {}: DR {:.2}% ACC {:.2}% FAR {:.2}% mc-acc {:.2}% | TP {} FP {} | final train_loss {:.4} test_loss {:.4} | {:?}",
+        r.arch_name,
+        dataset,
+        100.0 * r.confusion.detection_rate(),
+        100.0 * r.confusion.accuracy(),
+        100.0 * r.confusion.false_alarm_rate(),
+        100.0 * r.multiclass_acc,
+        r.confusion.tp,
+        r.confusion.fp,
+        r.history.final_train_loss().unwrap_or(f32::NAN),
+        r.history.final_test_loss().unwrap_or(f32::NAN),
+        dt
+    );
+}

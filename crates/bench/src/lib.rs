@@ -1,0 +1,137 @@
+//! Shared harness code for the table/figure benches.
+//!
+//! Each file in `benches/` regenerates one table or figure of the paper;
+//! this library holds the formatting and orchestration they share. See
+//! `EXPERIMENTS.md` at the repository root for the paper-vs-measured
+//! record.
+
+use pelican_core::experiment::{cached_run, Arch, DatasetKind, ExpConfig, RunResult};
+
+/// Runs (or loads from cache) the paper's four networks on `dataset`.
+///
+/// Returns results in the paper's column order: Plain-21, Residual-21,
+/// Plain-41, Residual-41.
+pub fn four_network_results(dataset: DatasetKind) -> Vec<RunResult> {
+    let cfg = ExpConfig::scaled(dataset);
+    Arch::paper_lineup()
+        .into_iter()
+        .map(|arch| {
+            eprintln!("[pelican-bench] {} on {} …", arch.paper_name(), dataset);
+            cached_run(arch, &cfg)
+        })
+        .collect()
+}
+
+/// Renders an ASCII table: a header row plus aligned data rows.
+///
+/// ```
+/// let t = pelican_bench::render_table(
+///     &["Structure", "DR%"],
+///     &[vec!["Plain-21".into(), "98.70".into()]],
+/// );
+/// assert!(t.contains("Plain-21"));
+/// assert!(t.contains("Structure"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (cell, w) in cells.iter().zip(widths) {
+            line.push_str(&format!(" {cell:<w$} |"));
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for w in &widths {
+        out.push_str(&format!("{:-<1$}|", "", w + 2));
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats a ratio as a percentage with two decimals (the paper's table
+/// style).
+pub fn pct(v: f32) -> String {
+    format!("{:.2}", v * 100.0)
+}
+
+/// Prints a figure banner so bench output reads like the paper's
+/// evaluation section.
+pub fn banner(title: &str) {
+    println!("\n==== {title} ====");
+}
+
+/// Renders one Fig. 5-style loss series as a sparkline-ish CSV block:
+/// epoch, then one column per named series.
+pub fn render_series(epochs: usize, series: &[(&str, Vec<f32>)]) -> String {
+    let mut out = String::from("epoch");
+    for (name, values) in series {
+        assert_eq!(values.len(), epochs, "series {name} length");
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for e in 0..epochs {
+        out.push_str(&format!("{}", e + 1));
+        for (_, values) in series {
+            out.push_str(&format!(",{:.4}", values[e]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let t = render_table(
+            &["A", "Blong"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let width = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == width), "{t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn ragged_rows_panic() {
+        render_table(&["A", "B"], &[vec!["only-one".into()]]);
+    }
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(0.9913), "99.13");
+        assert_eq!(pct(0.0065), "0.65");
+    }
+
+    #[test]
+    fn series_has_header_and_rows() {
+        let s = render_series(2, &[("plain", vec![0.5, 0.4]), ("res", vec![0.3, 0.2])]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "epoch,plain,res");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("1,0.5000,0.3000"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the NIDS metrics (paper Section V-B).
+
+use pelican_core::{Confusion, ConfusionMatrix};
+use pelican_tensor::SeededRng;
+use proptest::prelude::*;
+
+fn predictions(n: usize, classes: usize, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    let mut rng = SeededRng::new(seed);
+    let preds = (0..n).map(|_| rng.index(classes)).collect();
+    let labels = (0..n).map(|_| rng.index(classes)).collect();
+    (preds, labels)
+}
+
+proptest! {
+    /// All three paper metrics live in [0, 1] and the counts partition the
+    /// record set.
+    #[test]
+    fn metrics_are_rates(n in 1usize..200, classes in 2usize..6, seed in 0u64..1000) {
+        let (preds, labels) = predictions(n, classes, seed);
+        let c = Confusion::from_predictions(&preds, &labels, 0);
+        prop_assert_eq!(c.total(), n);
+        for v in [c.accuracy(), c.detection_rate(), c.false_alarm_rate()] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+    }
+
+    /// ACC is exactly (TP+TN)/N — Eq. 3 of the paper.
+    #[test]
+    fn accuracy_formula(n in 1usize..100, seed in 0u64..1000) {
+        let (preds, labels) = predictions(n, 3, seed);
+        let c = Confusion::from_predictions(&preds, &labels, 0);
+        let expect = (c.tp + c.tn) as f32 / n as f32;
+        prop_assert!((c.accuracy() - expect).abs() < 1e-6);
+    }
+
+    /// DR depends only on attack rows; FAR only on normal rows: flipping
+    /// predictions on normal traffic never changes DR, and vice versa.
+    #[test]
+    fn dr_far_independence(n in 2usize..100, seed in 0u64..1000) {
+        let (mut preds, labels) = predictions(n, 3, seed);
+        let c1 = Confusion::from_predictions(&preds, &labels, 0);
+        // Set every normal-row prediction to "attack" (class 1).
+        for (p, &t) in preds.iter_mut().zip(&labels) {
+            if t == 0 {
+                *p = 1;
+            }
+        }
+        let c2 = Confusion::from_predictions(&preds, &labels, 0);
+        prop_assert_eq!(c1.detection_rate(), c2.detection_rate());
+        // And FAR is now maximal (all normals flagged), unless there are none.
+        if labels.contains(&0) {
+            prop_assert_eq!(c2.false_alarm_rate(), 1.0);
+        }
+    }
+
+    /// Merging fold confusions equals computing over the concatenation.
+    #[test]
+    fn merge_is_concatenation(n1 in 1usize..50, n2 in 1usize..50, seed in 0u64..1000) {
+        let (p1, l1) = predictions(n1, 4, seed);
+        let (p2, l2) = predictions(n2, 4, seed ^ 7);
+        let mut merged = Confusion::from_predictions(&p1, &l1, 0);
+        merged.merge(&Confusion::from_predictions(&p2, &l2, 0));
+        let all_p: Vec<usize> = p1.iter().chain(&p2).copied().collect();
+        let all_l: Vec<usize> = l1.iter().chain(&l2).copied().collect();
+        prop_assert_eq!(merged, Confusion::from_predictions(&all_p, &all_l, 0));
+    }
+
+    /// The multiclass matrix row sums equal the per-class label counts and
+    /// its accuracy is bounded by the binary accuracy (collapsing classes
+    /// can only merge errors, never create them).
+    #[test]
+    fn matrix_consistency(n in 1usize..100, classes in 2usize..5, seed in 0u64..1000) {
+        let (preds, labels) = predictions(n, classes, seed);
+        let m = ConfusionMatrix::from_predictions(&preds, &labels, classes);
+        for t in 0..classes {
+            let row: usize = (0..classes).map(|p| m.count(t, p)).sum();
+            let expect = labels.iter().filter(|&&l| l == t).count();
+            prop_assert_eq!(row, expect);
+        }
+        let binary = Confusion::from_predictions(&preds, &labels, 0);
+        prop_assert!(m.accuracy() <= binary.accuracy() + 1e-6,
+                     "multiclass {} > binary {}", m.accuracy(), binary.accuracy());
+    }
+}

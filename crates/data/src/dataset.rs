@@ -1,0 +1,227 @@
+//! Raw (pre-encoding) datasets: records of mixed numeric/textual values.
+
+use crate::schema::{FeatureKind, Schema};
+
+/// One raw feature value, as it would appear in the CSV before numerical
+/// conversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// A numeric value.
+    Num(f32),
+    /// An index into the feature's categorical vocabulary (the textual form
+    /// is recoverable through the schema).
+    Cat(usize),
+}
+
+impl Value {
+    /// The numeric value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a categorical value.
+    pub fn as_num(&self) -> f32 {
+        match self {
+            Value::Num(v) => *v,
+            Value::Cat(_) => panic!("expected numeric value, found categorical"),
+        }
+    }
+
+    /// The categorical index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a numeric value.
+    pub fn as_cat(&self) -> usize {
+        match self {
+            Value::Cat(i) => *i,
+            Value::Num(_) => panic!("expected categorical value, found numeric"),
+        }
+    }
+}
+
+/// One raw record: feature values in schema order.
+pub type Record = Vec<Value>;
+
+/// A raw dataset: schema, records and integer class labels.
+///
+/// This is the analogue of the paper's CSV stage — textual categorical
+/// values and untransformed numerics, before `get_dummies` and
+/// standardisation.
+#[derive(Debug, Clone)]
+pub struct RawDataset {
+    schema: Schema,
+    records: Vec<Record>,
+    labels: Vec<usize>,
+}
+
+impl RawDataset {
+    /// Bundles records with their schema and labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if labels and records disagree in length, if any record has
+    /// the wrong arity, or if any value's kind/vocabulary disagrees with the
+    /// schema.
+    pub fn new(schema: Schema, records: Vec<Record>, labels: Vec<usize>) -> Self {
+        assert_eq!(records.len(), labels.len(), "one label per record");
+        for rec in &records {
+            assert_eq!(rec.len(), schema.feature_count(), "record arity");
+            for (v, f) in rec.iter().zip(&schema.features) {
+                match (&f.kind, v) {
+                    (FeatureKind::Numeric, Value::Num(_)) => {}
+                    (FeatureKind::Categorical(vocab), Value::Cat(i)) => {
+                        assert!(*i < vocab.len(), "categorical index out of vocabulary");
+                    }
+                    _ => panic!("value kind mismatch for feature {}", f.name),
+                }
+            }
+        }
+        for &l in &labels {
+            assert!(l < schema.class_count(), "label out of range");
+        }
+        Self {
+            schema,
+            records,
+            labels,
+        }
+    }
+
+    /// The dataset schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The raw records.
+    pub fn records(&self) -> &[Record] {
+        &self.records
+    }
+
+    /// Class labels, one per record.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Binary attack labels (1 = attack, 0 = normal), derived from the
+    /// schema's class specs.
+    pub fn attack_labels(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .map(|&l| usize::from(self.schema.classes[l].is_attack))
+            .collect()
+    }
+
+    /// The textual form of a categorical value in record `row`, feature
+    /// `col`, as it would read in the CSV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature is numeric or indices are out of bounds.
+    pub fn categorical_str(&self, row: usize, col: usize) -> &str {
+        match (&self.schema.features[col].kind, &self.records[row][col]) {
+            (FeatureKind::Categorical(vocab), Value::Cat(i)) => &vocab[*i],
+            _ => panic!("feature {col} is not categorical"),
+        }
+    }
+
+    /// Count of records per class.
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut hist = vec![0usize; self.schema.class_count()];
+        for &l in &self.labels {
+            hist[l] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ClassSpec, FeatureSpec};
+
+    fn schema() -> Schema {
+        Schema {
+            name: "t".into(),
+            features: vec![
+                FeatureSpec::numeric("n"),
+                FeatureSpec::categorical("c", vec!["a".into(), "b".into()]),
+            ],
+            classes: vec![
+                ClassSpec {
+                    name: "Normal".into(),
+                    weight: 1.0,
+                    is_attack: false,
+                },
+                ClassSpec {
+                    name: "Evil".into(),
+                    weight: 1.0,
+                    is_attack: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trips_records() {
+        let ds = RawDataset::new(
+            schema(),
+            vec![
+                vec![Value::Num(1.0), Value::Cat(0)],
+                vec![Value::Num(2.0), Value::Cat(1)],
+            ],
+            vec![0, 1],
+        );
+        assert_eq!(ds.len(), 2);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.records()[1][0].as_num(), 2.0);
+        assert_eq!(ds.records()[1][1].as_cat(), 1);
+        assert_eq!(ds.categorical_str(1, 1), "b");
+        assert_eq!(ds.attack_labels(), vec![0, 1]);
+        assert_eq!(ds.class_histogram(), vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per record")]
+    fn label_count_mismatch_panics() {
+        RawDataset::new(schema(), vec![vec![Value::Num(0.0), Value::Cat(0)]], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "kind mismatch")]
+    fn kind_mismatch_panics() {
+        RawDataset::new(
+            schema(),
+            vec![vec![Value::Cat(0), Value::Cat(0)]],
+            vec![0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn vocab_overflow_panics() {
+        RawDataset::new(
+            schema(),
+            vec![vec![Value::Num(0.0), Value::Cat(9)]],
+            vec![0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_overflow_panics() {
+        RawDataset::new(
+            schema(),
+            vec![vec![Value::Num(0.0), Value::Cat(0)]],
+            vec![7],
+        );
+    }
+}

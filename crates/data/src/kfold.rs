@@ -1,0 +1,132 @@
+//! K-fold cross-validation splitting (paper Section V-A, step 3).
+
+use pelican_tensor::SeededRng;
+
+/// Shuffled k-fold splitter.
+///
+/// "With the k-fold validation, a dataset was split into k subsets, where
+/// k−1 subsets were combined for training and the rest one was used for
+/// testing. Here, we set k=10" (Section V-A). The shuffle is seeded so
+/// experiments are repeatable.
+///
+/// ```
+/// use pelican_data::KFold;
+///
+/// let folds = KFold::new(10, 42).splits(100);
+/// assert_eq!(folds.len(), 10);
+/// for (train, test) in &folds {
+///     assert_eq!(train.len(), 90);
+///     assert_eq!(test.len(), 10);
+/// }
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct KFold {
+    k: usize,
+    seed: u64,
+}
+
+impl KFold {
+    /// Creates a splitter into `k` folds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2`.
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 2, "k-fold needs k >= 2");
+        Self { k, seed }
+    }
+
+    /// Number of folds.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Splits `0..n` into `k` `(train, test)` pairs. Each index appears in
+    /// exactly one test fold; fold sizes differ by at most one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < k` (a fold would be empty).
+    pub fn splits(&self, n: usize) -> Vec<(Vec<usize>, Vec<usize>)> {
+        assert!(n >= self.k, "need at least one sample per fold");
+        let mut order: Vec<usize> = (0..n).collect();
+        SeededRng::new(self.seed).shuffle(&mut order);
+
+        // Fold f takes the contiguous shuffled range [bounds[f], bounds[f+1]).
+        let base = n / self.k;
+        let extra = n % self.k;
+        let mut folds = Vec::with_capacity(self.k);
+        let mut start = 0usize;
+        for f in 0..self.k {
+            let size = base + usize::from(f < extra);
+            let test: Vec<usize> = order[start..start + size].to_vec();
+            let train: Vec<usize> = order[..start]
+                .iter()
+                .chain(&order[start + size..])
+                .copied()
+                .collect();
+            folds.push((train, test));
+            start += size;
+        }
+        folds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_index_tested_exactly_once() {
+        let folds = KFold::new(5, 1).splits(23);
+        let mut seen = Vec::new();
+        for (_, test) in &folds {
+            seen.extend(test.iter().copied());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn train_and_test_are_disjoint_and_complete() {
+        for (train, test) in KFold::new(4, 2).splits(18) {
+            let train_set: BTreeSet<_> = train.iter().collect();
+            let test_set: BTreeSet<_> = test.iter().collect();
+            assert!(train_set.is_disjoint(&test_set));
+            assert_eq!(train.len() + test.len(), 18);
+        }
+    }
+
+    #[test]
+    fn fold_sizes_differ_by_at_most_one() {
+        let folds = KFold::new(10, 3).splits(103);
+        let sizes: Vec<usize> = folds.iter().map(|(_, t)| t.len()).collect();
+        let min = sizes.iter().min().unwrap();
+        let max = sizes.iter().max().unwrap();
+        assert!(max - min <= 1, "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+    }
+
+    #[test]
+    fn same_seed_same_folds() {
+        assert_eq!(KFold::new(3, 9).splits(30), KFold::new(3, 9).splits(30));
+    }
+
+    #[test]
+    fn different_seed_different_folds() {
+        assert_ne!(KFold::new(3, 9).splits(30), KFold::new(3, 10).splits(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 2")]
+    fn k_one_rejected() {
+        KFold::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one sample per fold")]
+    fn too_few_samples_rejected() {
+        KFold::new(10, 0).splits(5);
+    }
+}

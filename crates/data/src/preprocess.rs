@@ -1,0 +1,319 @@
+//! Preprocessing: numerical conversion, standardisation and splitting
+//! (paper Section V-A, steps 1–3).
+
+use crate::dataset::{RawDataset, Value};
+use crate::schema::{FeatureKind, Schema};
+use pelican_tensor::{SeededRng, Tensor};
+
+/// One-hot encoder over a dataset schema — the analogue of the paper's
+/// Pandas `get_dummies` step ("Step 1, Numerical Conversion").
+///
+/// Categorical features expand to one column per vocabulary entry; numeric
+/// features pass through. Because the vocabularies come from the schema,
+/// train and test encode identically.
+///
+/// ```
+/// use pelican_data::{nslkdd, OneHotEncoder};
+///
+/// let raw = nslkdd::generate(10, 0);
+/// let enc = OneHotEncoder::from_schema(raw.schema());
+/// let x = enc.encode(&raw);
+/// assert_eq!(x.shape(), &[10, 121]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct OneHotEncoder {
+    /// Offset of each feature's first output column.
+    offsets: Vec<usize>,
+    widths: Vec<usize>,
+    total: usize,
+    names: Vec<String>,
+}
+
+impl OneHotEncoder {
+    /// Builds the encoder for a schema.
+    pub fn from_schema(schema: &Schema) -> Self {
+        let mut offsets = Vec::with_capacity(schema.feature_count());
+        let mut widths = Vec::with_capacity(schema.feature_count());
+        let mut names = Vec::new();
+        let mut total = 0usize;
+        for f in &schema.features {
+            offsets.push(total);
+            let w = f.encoded_width();
+            widths.push(w);
+            match &f.kind {
+                FeatureKind::Numeric => names.push(f.name.clone()),
+                FeatureKind::Categorical(vocab) => {
+                    for v in vocab {
+                        names.push(format!("{}_{}", f.name, v));
+                    }
+                }
+            }
+            total += w;
+        }
+        Self {
+            offsets,
+            widths,
+            total,
+            names,
+        }
+    }
+
+    /// Width of the encoded feature vector.
+    pub fn width(&self) -> usize {
+        self.total
+    }
+
+    /// Names of the encoded columns (`feature` or `feature_value`), as
+    /// `get_dummies` would produce.
+    pub fn column_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Encodes every record of `raw` into a `[rows, width]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw`'s schema has a different encoded width than this
+    /// encoder was built for.
+    pub fn encode(&self, raw: &RawDataset) -> Tensor {
+        assert_eq!(
+            raw.schema().encoded_width(),
+            self.total,
+            "encoder/schema width mismatch"
+        );
+        let n = raw.len();
+        let mut out = Tensor::zeros(vec![n, self.total]);
+        for (i, rec) in raw.records().iter().enumerate() {
+            let row = &mut out.as_mut_slice()[i * self.total..(i + 1) * self.total];
+            for (j, v) in rec.iter().enumerate() {
+                match v {
+                    Value::Num(x) => row[self.offsets[j]] = *x,
+                    Value::Cat(c) => {
+                        debug_assert!(*c < self.widths[j]);
+                        row[self.offsets[j] + c] = 1.0;
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Column-wise standardiser — the paper's "Step 2, Normalization": scale
+/// every column to mean 0 and standard deviation 1.
+///
+/// Fit on the training fold, applied to both folds, so no test statistics
+/// leak into training.
+///
+/// ```
+/// use pelican_data::Standardizer;
+/// use pelican_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![3, 1], vec![1.0, 2.0, 3.0])?;
+/// let s = Standardizer::fit(&x);
+/// let z = s.transform(&x);
+/// assert!(z.mean().abs() < 1e-6);
+/// # Ok::<(), pelican_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    mean: Vec<f32>,
+    std: Vec<f32>,
+}
+
+impl Standardizer {
+    /// Computes per-column mean and standard deviation of `x`.
+    ///
+    /// Constant columns get unit scale so they map to exactly zero instead
+    /// of dividing by zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2.
+    pub fn fit(x: &Tensor) -> Self {
+        assert_eq!(x.rank(), 2, "standardizer expects [rows, cols]");
+        let mean = x.mean_axis0().expect("mean").into_vec();
+        let std: Vec<f32> = x
+            .var_axis0()
+            .expect("var")
+            .into_vec()
+            .into_iter()
+            .map(|v| {
+                let s = v.sqrt();
+                if s < 1e-8 {
+                    1.0
+                } else {
+                    s
+                }
+            })
+            .collect();
+        Self { mean, std }
+    }
+
+    /// Applies `(x - mean) / std` column-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the fitted data.
+    pub fn transform(&self, x: &Tensor) -> Tensor {
+        assert_eq!(x.rank(), 2, "standardizer expects [rows, cols]");
+        assert_eq!(x.shape()[1], self.mean.len(), "column count mismatch");
+        let cols = self.mean.len();
+        let mut out = x.clone();
+        for row in out.as_mut_slice().chunks_mut(cols) {
+            for ((v, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *v = (*v - m) / s;
+            }
+        }
+        out
+    }
+
+    /// Fitted per-column means.
+    pub fn mean(&self) -> &[f32] {
+        &self.mean
+    }
+
+    /// Fitted per-column standard deviations (1.0 for constant columns).
+    pub fn std(&self) -> &[f32] {
+        &self.std
+    }
+}
+
+/// An encoded, standardised train/test split ready for training.
+#[derive(Debug, Clone)]
+pub struct EncodedSplit {
+    /// Training inputs `[n_train, width]`, standardised.
+    pub x_train: Tensor,
+    /// Training class labels.
+    pub y_train: Vec<usize>,
+    /// Test inputs `[n_test, width]`, standardised with training statistics.
+    pub x_test: Tensor,
+    /// Test class labels.
+    pub y_test: Vec<usize>,
+}
+
+/// Encodes `raw`, splits it by the given index sets, and standardises using
+/// training-fold statistics only.
+///
+/// # Panics
+///
+/// Panics if any index is out of bounds.
+pub fn train_test_split(raw: &RawDataset, train_idx: &[usize], test_idx: &[usize]) -> EncodedSplit {
+    let encoder = OneHotEncoder::from_schema(raw.schema());
+    let x_all = encoder.encode(raw);
+    let x_train_raw = x_all.gather_rows(train_idx);
+    let x_test_raw = x_all.gather_rows(test_idx);
+    let scaler = Standardizer::fit(&x_train_raw);
+    EncodedSplit {
+        x_train: scaler.transform(&x_train_raw),
+        y_train: train_idx.iter().map(|&i| raw.labels()[i]).collect(),
+        x_test: scaler.transform(&x_test_raw),
+        y_test: test_idx.iter().map(|&i| raw.labels()[i]).collect(),
+    }
+}
+
+/// Splits `n` indices into a shuffled `(train, test)` pair with the given
+/// test fraction — the simple holdout used by quick examples (the paper's
+/// headline experiments use [`crate::KFold`] instead).
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1`.
+pub fn holdout_indices(n: usize, test_fraction: f32, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        (0.0..1.0).contains(&test_fraction) && test_fraction > 0.0,
+        "test fraction must be in (0, 1)"
+    );
+    let mut idx: Vec<usize> = (0..n).collect();
+    SeededRng::new(seed).shuffle(&mut idx);
+    let n_test = ((n as f32) * test_fraction).round().max(1.0) as usize;
+    let test = idx.split_off(n.saturating_sub(n_test));
+    (idx, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nslkdd;
+
+    #[test]
+    fn one_hot_has_single_one_per_categorical() {
+        let raw = nslkdd::generate(20, 1);
+        let enc = OneHotEncoder::from_schema(raw.schema());
+        let x = enc.encode(&raw);
+        // protocol_type occupies columns offsets[1]..offsets[1]+3.
+        let proto_off = 1; // after `duration`
+        for row in 0..20 {
+            let s: f32 = (0..3)
+                .map(|k| x.get(&[row, proto_off + k]))
+                .sum();
+            assert_eq!(s, 1.0, "row {row} protocol one-hot sum");
+        }
+    }
+
+    #[test]
+    fn column_names_match_width() {
+        let raw = nslkdd::generate(1, 0);
+        let enc = OneHotEncoder::from_schema(raw.schema());
+        assert_eq!(enc.column_names().len(), enc.width());
+        assert!(enc.column_names().iter().any(|n| n == "protocol_type_tcp"));
+        assert!(enc.column_names().iter().any(|n| n == "duration"));
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let x = Tensor::from_vec(vec![4, 2], vec![1., 100., 2., 200., 3., 300., 4., 400.]).unwrap();
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        let mean = z.mean_axis0().unwrap();
+        let var = z.var_axis0().unwrap();
+        for &m in mean.as_slice() {
+            assert!(m.abs() < 1e-5);
+        }
+        for &v in var.as_slice() {
+            assert!((v - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_column_maps_to_zero() {
+        let x = Tensor::from_vec(vec![3, 1], vec![5.0, 5.0, 5.0]).unwrap();
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(s.std()[0], 1.0);
+        assert_eq!(s.mean()[0], 5.0);
+    }
+
+    #[test]
+    fn split_uses_train_statistics_only() {
+        let raw = nslkdd::generate(50, 2);
+        let train: Vec<usize> = (0..40).collect();
+        let test: Vec<usize> = (40..50).collect();
+        let split = train_test_split(&raw, &train, &test);
+        assert_eq!(split.x_train.shape(), &[40, 121]);
+        assert_eq!(split.x_test.shape(), &[10, 121]);
+        assert_eq!(split.y_train.len(), 40);
+        assert_eq!(split.y_test.len(), 10);
+        // Train columns are standardised exactly; test columns only
+        // approximately (different sample) — verify train mean ≈ 0.
+        let m = split.x_train.mean_axis0().unwrap();
+        assert!(m.as_slice().iter().all(|v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn holdout_partitions_everything() {
+        let (train, test) = holdout_indices(100, 0.2, 7);
+        assert_eq!(train.len() + test.len(), 100);
+        assert_eq!(test.len(), 20);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn holdout_rejects_bad_fraction() {
+        holdout_indices(10, 1.5, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Class-aware sampling utilities: stratified splits and rebalancing.
+//!
+//! NIDS corpora are severely imbalanced (UNSW-NB15's Worms class is under
+//! 0.1% of records), so random splits can leave rare classes entirely out
+//! of a fold and training can ignore them. These helpers are the standard
+//! remedies: stratified splitting preserves class proportions per fold,
+//! and random oversampling equalises class frequencies in the training
+//! fold.
+
+use pelican_tensor::SeededRng;
+
+/// Splits `labels`' indices into a stratified `(train, test)` pair: each
+/// class contributes `test_fraction` of its members to the test side
+/// (at least one when it has two or more members).
+///
+/// # Panics
+///
+/// Panics unless `0 < test_fraction < 1`.
+pub fn stratified_holdout(
+    labels: &[usize],
+    test_fraction: f32,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!(
+        test_fraction > 0.0 && test_fraction < 1.0,
+        "test fraction must be in (0, 1)"
+    );
+    let classes = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let mut rng = SeededRng::new(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut members in per_class {
+        if members.is_empty() {
+            continue;
+        }
+        rng.shuffle(&mut members);
+        let mut n_test = ((members.len() as f32) * test_fraction).round() as usize;
+        if members.len() >= 2 {
+            n_test = n_test.clamp(1, members.len() - 1);
+        } else {
+            n_test = 0; // a singleton class stays in training
+        }
+        test.extend_from_slice(&members[..n_test]);
+        train.extend_from_slice(&members[n_test..]);
+    }
+    // Deterministic order independent of class enumeration.
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// Random oversampling: returns an index multiset in which every class
+/// appears as often as the most frequent one (original indices plus
+/// resampled duplicates of minority-class rows).
+///
+/// The result is shuffled, ready to be fed to `Tensor::gather_rows`.
+pub fn oversample_to_balance(labels: &[usize], seed: u64) -> Vec<usize> {
+    let classes = labels.iter().max().map_or(0, |&m| m + 1);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); classes];
+    for (i, &l) in labels.iter().enumerate() {
+        per_class[l].push(i);
+    }
+    let target = per_class.iter().map(Vec::len).max().unwrap_or(0);
+    let mut rng = SeededRng::new(seed);
+    let mut out = Vec::with_capacity(target * classes);
+    for members in &per_class {
+        if members.is_empty() {
+            continue;
+        }
+        out.extend_from_slice(members);
+        for _ in members.len()..target {
+            out.push(members[rng.index(members.len())]);
+        }
+    }
+    rng.shuffle(&mut out);
+    out
+}
+
+/// Per-class weights inversely proportional to class frequency, normalised
+/// to mean 1 — for cost-sensitive training as an alternative to
+/// oversampling. Classes absent from `labels` get weight 0.
+pub fn inverse_frequency_weights(labels: &[usize], classes: usize) -> Vec<f32> {
+    let mut counts = vec![0usize; classes];
+    for &l in labels {
+        assert!(l < classes, "label out of range");
+        counts[l] += 1;
+    }
+    let present = counts.iter().filter(|&&c| c > 0).count().max(1);
+    let total: usize = counts.iter().sum();
+    let mut weights: Vec<f32> = counts
+        .iter()
+        .map(|&c| {
+            if c == 0 {
+                0.0
+            } else {
+                total as f32 / (present as f32 * c as f32)
+            }
+        })
+        .collect();
+    // Normalise present-class mean to 1 (already is by construction, but
+    // guard against float drift).
+    let mean: f32 =
+        weights.iter().filter(|w| **w > 0.0).sum::<f32>() / present as f32;
+    if mean > 0.0 {
+        weights.iter_mut().for_each(|w| *w /= mean);
+    }
+    weights
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels() -> Vec<usize> {
+        // 60 of class 0, 30 of class 1, 10 of class 2.
+        let mut v = vec![0; 60];
+        v.extend(vec![1; 30]);
+        v.extend(vec![2; 10]);
+        v
+    }
+
+    #[test]
+    fn stratified_preserves_proportions() {
+        let labels = labels();
+        let (train, test) = stratified_holdout(&labels, 0.2, 7);
+        assert_eq!(train.len() + test.len(), 100);
+        let count = |idx: &[usize], class: usize| idx.iter().filter(|&&i| labels[i] == class).count();
+        assert_eq!(count(&test, 0), 12);
+        assert_eq!(count(&test, 1), 6);
+        assert_eq!(count(&test, 2), 2);
+    }
+
+    #[test]
+    fn stratified_covers_all_indices_once() {
+        let labels = labels();
+        let (train, test) = stratified_holdout(&labels, 0.3, 1);
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stratified_keeps_rare_class_in_both_sides() {
+        // Class 1 has only 2 members: one must land on each side.
+        let labels = vec![0, 0, 0, 0, 0, 0, 0, 0, 1, 1];
+        let (train, test) = stratified_holdout(&labels, 0.1, 3);
+        assert!(train.iter().any(|&i| labels[i] == 1));
+        assert!(test.iter().any(|&i| labels[i] == 1));
+    }
+
+    #[test]
+    fn singleton_class_stays_in_training() {
+        let labels = vec![0, 0, 0, 0, 1];
+        let (train, test) = stratified_holdout(&labels, 0.25, 3);
+        assert!(train.contains(&4));
+        assert!(!test.contains(&4));
+    }
+
+    #[test]
+    fn oversampling_balances_counts() {
+        let labels = labels();
+        let idx = oversample_to_balance(&labels, 5);
+        let mut counts = [0usize; 3];
+        for &i in &idx {
+            counts[labels[i]] += 1;
+        }
+        assert_eq!(counts, [60, 60, 60]);
+        // Every original index still present at least once.
+        for orig in 0..100 {
+            assert!(idx.contains(&orig), "index {orig} lost");
+        }
+    }
+
+    #[test]
+    fn oversampling_is_deterministic() {
+        let labels = labels();
+        assert_eq!(
+            oversample_to_balance(&labels, 9),
+            oversample_to_balance(&labels, 9)
+        );
+        assert_ne!(
+            oversample_to_balance(&labels, 9),
+            oversample_to_balance(&labels, 10)
+        );
+    }
+
+    #[test]
+    fn inverse_weights_rank_rarity() {
+        let labels = labels();
+        let w = inverse_frequency_weights(&labels, 3);
+        assert!(w[2] > w[1] && w[1] > w[0]);
+        // Present-class mean is 1.
+        let mean: f32 = w.iter().sum::<f32>() / 3.0;
+        assert!((mean - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn absent_class_weight_is_zero() {
+        let w = inverse_frequency_weights(&[0, 0, 2], 4);
+        assert_eq!(w[1], 0.0);
+        assert_eq!(w[3], 0.0);
+        assert!(w[0] > 0.0 && w[2] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "test fraction")]
+    fn bad_fraction_panics() {
+        stratified_holdout(&[0, 1], 0.0, 0);
+    }
+}

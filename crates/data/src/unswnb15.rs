@@ -1,0 +1,238 @@
+//! Synthetic UNSW-NB15 dataset.
+//!
+//! Mirrors the UNSW-NB15 schema [Moustafa & Slay, MilCIS 2015]: 42 flow
+//! features (39 numeric + 3 categorical: `proto`, `service`, `state`) and
+//! the 10 classes the paper lists (Normal, DoS, Exploits, Generic,
+//! Shellcode, Reconnaissance, Backdoors, Worms, Analysis, Fuzzers,
+//! Section V). Vocabulary sizes are chosen so one-hot encoding yields the
+//! paper's 196-feature input (Section V-C): 39 numeric + 133 protocols +
+//! 13 services + 11 states = 196.
+//!
+//! The hardness knobs are tuned *hard*: heavy class overlap, strong
+//! categorical-numeric interaction and severe imbalance, matching the
+//! paper's UNSW-NB15 accuracy band (≈73–87% across all evaluated models
+//! vs ≈99% on NSL-KDD).
+
+use crate::schema::{ClassSpec, FeatureSpec, Schema};
+use crate::synth::{generate_records, NumericStyle, SynthConfig};
+use crate::RawDataset;
+
+/// Width of the one-hot encoded input, matching the paper's Section V-C.
+pub const ENCODED_WIDTH: usize = 196;
+
+/// Number of records the paper draws from UNSW-NB15 (Section V-A).
+pub const PAPER_RECORD_COUNT: usize = 257_673;
+
+/// Class names in label order (the paper's listing order).
+pub const CLASSES: [&str; 10] = [
+    "Normal",
+    "DoS",
+    "Exploits",
+    "Generic",
+    "Shellcode",
+    "Reconnaissance",
+    "Backdoors",
+    "Worms",
+    "Analysis",
+    "Fuzzers",
+];
+
+/// Connection states (the real UNSW-NB15 `state` vocabulary, 11 values).
+const STATES: [&str; 11] = [
+    "FIN", "INT", "CON", "ECO", "REQ", "RST", "PAR", "URN", "no", "ACC", "CLO",
+];
+
+/// Application services (the real `service` vocabulary, 13 values).
+const SERVICES: [&str; 13] = [
+    "-", "dns", "http", "ftp", "ftp-data", "smtp", "ssh", "snmp", "ssl", "irc", "radius", "pop3",
+    "dhcp",
+];
+
+/// IP protocol vocabulary: the common real names plus numbered rare
+/// protocols filling out to the 133 distinct values of the real corpus.
+fn proto_vocab() -> Vec<String> {
+    let named = [
+        "tcp", "udp", "arp", "icmp", "igmp", "ospf", "sctp", "gre", "ggp", "ip", "ipnip", "st2",
+        "argus", "chaos", "egp", "emcon", "nvp", "pup", "xnet", "mux", "dcn", "hmp", "prm",
+        "trunk-1", "trunk-2", "xns-idp", "leaf-1", "leaf-2", "irtp", "rdp", "netblt", "mfe-nsp",
+        "merit-inp", "sep", "3pc", "idpr", "xtp", "ddp", "idpr-cmtp", "tp++",
+    ];
+    let mut vocab: Vec<String> = named.iter().map(|s| s.to_string()).collect();
+    let mut i = 0;
+    while vocab.len() < 133 {
+        vocab.push(format!("proto-{i}"));
+        i += 1;
+    }
+    vocab
+}
+
+/// The 42 UNSW-NB15 features with their magnitude styles, in CSV column
+/// order (the `id` column and the label columns are excluded, as in the
+/// paper's preprocessing).
+fn feature_table() -> Vec<(FeatureSpec, NumericStyle)> {
+    use NumericStyle::{Binary, Gaussian, LogScale, Rate};
+    let vocab = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+    let num = |n: &str, s: NumericStyle| (FeatureSpec::numeric(n), s);
+    vec![
+        num("dur", LogScale),
+        (FeatureSpec::categorical("proto", proto_vocab()), Gaussian),
+        (FeatureSpec::categorical("service", vocab(&SERVICES)), Gaussian),
+        (FeatureSpec::categorical("state", vocab(&STATES)), Gaussian),
+        num("spkts", LogScale),
+        num("dpkts", LogScale),
+        num("sbytes", LogScale),
+        num("dbytes", LogScale),
+        num("rate", LogScale),
+        num("sttl", Gaussian),
+        num("dttl", Gaussian),
+        num("sload", LogScale),
+        num("dload", LogScale),
+        num("sloss", LogScale),
+        num("dloss", LogScale),
+        num("sinpkt", LogScale),
+        num("dinpkt", LogScale),
+        num("sjit", LogScale),
+        num("djit", LogScale),
+        num("swin", Gaussian),
+        num("stcpb", LogScale),
+        num("dtcpb", LogScale),
+        num("dwin", Gaussian),
+        num("tcprtt", Rate),
+        num("synack", Rate),
+        num("ackdat", Rate),
+        num("smean", LogScale),
+        num("dmean", LogScale),
+        num("trans_depth", LogScale),
+        num("response_body_len", LogScale),
+        num("ct_srv_src", LogScale),
+        num("ct_state_ttl", Gaussian),
+        num("ct_dst_ltm", LogScale),
+        num("ct_src_dport_ltm", LogScale),
+        num("ct_dst_sport_ltm", LogScale),
+        num("ct_dst_src_ltm", LogScale),
+        num("is_ftp_login", Binary),
+        num("ct_ftp_cmd", LogScale),
+        num("ct_flw_http_mthd", LogScale),
+        num("ct_src_ltm", LogScale),
+        num("ct_srv_dst", LogScale),
+        num("is_sm_ips_ports", Binary),
+    ]
+}
+
+/// The UNSW-NB15 schema (42 features, 10 classes).
+pub fn schema() -> Schema {
+    // Proportions of the standard 257,673-record train+test partition.
+    let classes = vec![
+        ("Normal", 36.1, false),
+        ("DoS", 6.3, true),
+        ("Exploits", 17.2, true),
+        ("Generic", 22.8, true),
+        ("Shellcode", 0.6, true),
+        ("Reconnaissance", 5.4, true),
+        ("Backdoors", 0.9, true),
+        ("Worms", 0.1, true),
+        ("Analysis", 1.0, true),
+        ("Fuzzers", 9.4, true),
+    ];
+    Schema {
+        name: "UNSW-NB15".into(),
+        features: feature_table().into_iter().map(|(f, _)| f).collect(),
+        classes: classes
+            .into_iter()
+            .map(|(name, weight, is_attack)| ClassSpec {
+                name: name.into(),
+                weight,
+                is_attack,
+            })
+            .collect(),
+    }
+}
+
+/// Generator hardness configuration: UNSW-NB15 is the *hard* dataset
+/// (heavy overlap, interaction structure, imbalance).
+pub fn config() -> SynthConfig {
+    SynthConfig {
+        // Low per-feature separation: each of the 39 numerics carries only
+        // a weak signal, so accurate classification requires aggregating
+        // many features — the regime where the paper's deep models clearly
+        // beat axis-aligned trees and shallow learners (Table V).
+        separation: 0.6,
+        noise: 1.3,
+        cat_sharpness: 0.4,
+        interaction: 1.3,
+        profile_seed: 0x554E_5357,
+        // Order: Normal, DoS, Exploits, Generic, Shellcode, Recon,
+        // Backdoors, Worms, Analysis, Fuzzers. The small factors mirror the
+        // attack families the UNSW-NB15 literature reports as nearly
+        // indistinguishable from normal traffic (Fuzzers, Analysis,
+        // Backdoors) or from each other (DoS vs Exploits).
+        class_separation: vec![1.9, 0.55, 0.85, 1.2, 0.75, 0.95, 0.45, 0.6, 0.4, 0.5],
+    }
+}
+
+/// Generates `n` seeded synthetic UNSW-NB15 records.
+pub fn generate(n: usize, seed: u64) -> RawDataset {
+    let table = feature_table();
+    let styles: Vec<NumericStyle> = table.iter().map(|(_, s)| *s).collect();
+    generate_records(&schema(), &styles, &config(), n, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoded_width_is_exactly_196() {
+        assert_eq!(schema().encoded_width(), ENCODED_WIDTH);
+    }
+
+    #[test]
+    fn has_42_features_and_10_classes() {
+        let s = schema();
+        assert_eq!(s.feature_count(), 42);
+        assert_eq!(s.class_count(), 10);
+        assert_eq!(s.normal_class(), 0);
+        for (c, name) in s.classes.iter().zip(CLASSES) {
+            assert_eq!(c.name, name);
+        }
+    }
+
+    #[test]
+    fn proto_vocab_has_133_unique_values() {
+        let v = proto_vocab();
+        assert_eq!(v.len(), 133);
+        let mut sorted = v.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 133, "duplicate protocol names");
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let a = generate(100, 3);
+        let b = generate(100, 3);
+        assert_eq!(a.records(), b.records());
+    }
+
+    #[test]
+    fn class_mix_matches_partition_proportions() {
+        let ds = generate(30_000, 1);
+        let hist = ds.class_histogram();
+        let frac: Vec<f32> = hist.iter().map(|&h| h as f32 / ds.len() as f32).collect();
+        assert!((frac[0] - 0.36).abs() < 0.03, "normal {}", frac[0]);
+        assert!((frac[3] - 0.23).abs() < 0.03, "generic {}", frac[3]);
+        assert!(frac[7] < 0.01, "worms should be rare");
+        // Every class appears at this sample size.
+        assert!(hist.iter().all(|&h| h > 0), "missing class: {hist:?}");
+    }
+
+    #[test]
+    fn unsw_is_harder_than_nslkdd() {
+        // Hardness knobs: less separation, more noise, more interaction.
+        let easy = crate::nslkdd::config();
+        let hard = config();
+        assert!(hard.separation < easy.separation);
+        assert!(hard.noise > easy.noise);
+        assert!(hard.interaction > easy.interaction);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for preprocessing and splitting.
+
+use pelican_data::{holdout_indices, KFold, OneHotEncoder, Standardizer};
+use pelican_tensor::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    /// K-fold partition laws for arbitrary (n, k): folds are disjoint,
+    /// cover 0..n, and sizes differ by at most one.
+    #[test]
+    fn kfold_partition_laws(k in 2usize..8, extra in 0usize..40, seed in 0u64..500) {
+        let n = k + extra;
+        let folds = KFold::new(k, seed).splits(n);
+        prop_assert_eq!(folds.len(), k);
+        let mut seen = vec![0u8; n];
+        let mut sizes = Vec::new();
+        for (train, test) in &folds {
+            prop_assert_eq!(train.len() + test.len(), n);
+            sizes.push(test.len());
+            for &i in test {
+                seen[i] += 1;
+            }
+            // Disjointness within the fold.
+            for &i in train {
+                prop_assert!(!test.contains(&i));
+            }
+        }
+        prop_assert!(seen.iter().all(|&c| c == 1), "each index tested exactly once");
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        prop_assert!(max - min <= 1);
+    }
+
+    /// Holdout split partitions the indices with the requested test size.
+    #[test]
+    fn holdout_partition(n in 2usize..200, frac in 0.05f32..0.9, seed in 0u64..100) {
+        let (train, test) = holdout_indices(n, frac, seed);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!test.is_empty());
+        let mut all: Vec<usize> = train.iter().chain(&test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Standardised columns have mean ≈ 0 and variance ≈ 1 (unless the
+    /// column is constant, in which case it maps to exactly 0).
+    #[test]
+    fn standardizer_normalises(rows in 2usize..30, cols in 1usize..6, seed in 0u64..200) {
+        let mut rng = pelican_tensor::SeededRng::new(seed);
+        let data: Vec<f32> = (0..rows * cols)
+            .map(|_| rng.normal_with(5.0, 10.0))
+            .collect();
+        let x = Tensor::from_vec(vec![rows, cols], data).unwrap();
+        let s = Standardizer::fit(&x);
+        let z = s.transform(&x);
+        let mean = z.mean_axis0().unwrap();
+        let var = z.var_axis0().unwrap();
+        for j in 0..cols {
+            prop_assert!(mean.as_slice()[j].abs() < 1e-3, "mean {}", mean.as_slice()[j]);
+            // A column could be (nearly) constant by chance only with
+            // pathological rng; variance should be ≈ 1 otherwise.
+            prop_assert!((var.as_slice()[j] - 1.0).abs() < 1e-2, "var {}", var.as_slice()[j]);
+        }
+    }
+
+    /// One-hot encoding: every row's categorical block sums are exactly
+    /// the number of categorical features, and numeric cells pass through.
+    #[test]
+    fn one_hot_row_structure(n in 1usize..30, seed in 0u64..200) {
+        let raw = pelican_data::nslkdd::generate(n, seed);
+        let enc = OneHotEncoder::from_schema(raw.schema());
+        let x = enc.encode(&raw);
+        prop_assert_eq!(x.shape(), &[n, 121]);
+        // NSL-KDD has 3 categorical features; the one-hot cells are 0/1
+        // and sum to 3 per row. Identify them by column name.
+        let names = enc.column_names();
+        for row in 0..n {
+            let mut onehot_sum = 0.0f32;
+            for (j, name) in names.iter().enumerate() {
+                let v = x.get(&[row, j]);
+                if name.contains("protocol_type_") || name.contains("service_") || name.contains("flag_") {
+                    prop_assert!(v == 0.0 || v == 1.0, "one-hot cell {v}");
+                    onehot_sum += v;
+                }
+            }
+            prop_assert_eq!(onehot_sum, 3.0);
+        }
+    }
+
+    /// Generated datasets have valid labels and the attack-label view is
+    /// consistent with the schema.
+    #[test]
+    fn labels_and_attack_view_consistent(n in 1usize..50, seed in 0u64..300) {
+        let raw = pelican_data::unswnb15::generate(n, seed);
+        let attacks = raw.attack_labels();
+        prop_assert_eq!(attacks.len(), n);
+        for (&label, &attack) in raw.labels().iter().zip(&attacks) {
+            prop_assert!(label < 10);
+            prop_assert_eq!(attack == 1, label != 0, "class 0 is Normal");
+        }
+    }
+}

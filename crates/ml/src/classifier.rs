@@ -1,0 +1,73 @@
+//! The common supervised-classifier interface.
+
+use pelican_tensor::Tensor;
+
+/// A supervised multi-class classifier over dense feature matrices.
+///
+/// `fit` consumes a `[rows, features]` tensor and one class index per row;
+/// `predict` returns one class index per row. Implementations must be
+/// deterministic given their configured seed.
+pub trait Classifier {
+    /// Trains on `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x` is not rank 2, `y.len()` differs from
+    /// the row count, or the training set is empty.
+    fn fit(&mut self, x: &Tensor, y: &[usize]);
+
+    /// Predicts the class of every row of `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before `fit` or with a mismatched feature count.
+    fn predict(&self, x: &Tensor) -> Vec<usize>;
+
+    /// Short display name for result tables.
+    fn name(&self) -> &'static str;
+}
+
+/// Fraction of rows of `x` that `model` classifies as `y`.
+///
+/// # Panics
+///
+/// Panics if `y.len()` differs from the row count of `x`.
+pub fn accuracy(model: &dyn Classifier, x: &Tensor, y: &[usize]) -> f32 {
+    let preds = model.predict(x);
+    assert_eq!(preds.len(), y.len(), "label count mismatch");
+    if y.is_empty() {
+        return 0.0;
+    }
+    let correct = preds.iter().zip(y).filter(|(p, t)| p == t).count();
+    correct as f32 / y.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Constant(usize);
+    impl Classifier for Constant {
+        fn fit(&mut self, _x: &Tensor, _y: &[usize]) {}
+        fn predict(&self, x: &Tensor) -> Vec<usize> {
+            vec![self.0; x.shape()[0]]
+        }
+        fn name(&self) -> &'static str {
+            "constant"
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let model = Constant(1);
+        let x = Tensor::zeros(vec![4, 2]);
+        assert_eq!(accuracy(&model, &x, &[1, 1, 0, 0]), 0.5);
+        assert_eq!(accuracy(&model, &x, &[1, 1, 1, 1]), 1.0);
+    }
+
+    #[test]
+    fn classifier_is_object_safe() {
+        let boxed: Box<dyn Classifier> = Box::new(Constant(0));
+        assert_eq!(boxed.name(), "constant");
+    }
+}

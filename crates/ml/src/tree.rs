@@ -1,0 +1,422 @@
+//! CART decision trees with Gini impurity and weighted samples.
+
+use crate::Classifier;
+use pelican_tensor::{SeededRng, Tensor};
+
+/// Configuration for [`DecisionTree`].
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionTreeConfig {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum weighted Gini decrease for a split to be kept. The default
+    /// is 0.0 (as in scikit-learn): zero-gain splits are allowed, which is
+    /// what lets greedy CART work through XOR-like structure where no
+    /// single split improves impurity.
+    pub min_impurity_decrease: f32,
+    /// Number of features considered per split (`None` = all) — random
+    /// forests pass `sqrt(d)` here.
+    pub max_features: Option<usize>,
+    /// Cap on candidate thresholds examined per feature (quantile
+    /// subsampling above this).
+    pub max_thresholds: usize,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for DecisionTreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            min_impurity_decrease: 0.0,
+            max_features: None,
+            max_thresholds: 32,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART classification tree (Gini impurity, axis-aligned thresholds).
+///
+/// Supports per-sample weights so it can serve as the weak learner inside
+/// [`AdaBoost`](crate::AdaBoost) and the base learner of
+/// [`RandomForest`](crate::RandomForest). See [`crate`] docs for an
+/// example.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    config: DecisionTreeConfig,
+    nodes: Vec<Node>,
+    n_features: usize,
+    n_classes: usize,
+}
+
+impl DecisionTree {
+    /// Creates an untrained tree.
+    pub fn new(config: DecisionTreeConfig) -> Self {
+        Self {
+            config,
+            nodes: Vec::new(),
+            n_features: 0,
+            n_classes: 0,
+        }
+    }
+
+    /// Number of nodes in the fitted tree (0 before `fit`).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        fn walk(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + walk(nodes, *left).max(walk(nodes, *right)),
+            }
+        }
+        if self.nodes.is_empty() {
+            0
+        } else {
+            walk(&self.nodes, 0)
+        }
+    }
+
+    /// Trains with explicit per-sample weights (used by boosting).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, mismatched lengths, or non-positive total
+    /// weight.
+    pub fn fit_weighted(&mut self, x: &Tensor, y: &[usize], w: &[f32], n_classes: usize) {
+        assert_eq!(x.rank(), 2, "tree expects [rows, features]");
+        let n = x.shape()[0];
+        assert!(n > 0, "empty training set");
+        assert_eq!(y.len(), n, "label count");
+        assert_eq!(w.len(), n, "weight count");
+        assert!(w.iter().sum::<f32>() > 0.0, "total weight must be positive");
+        self.n_features = x.shape()[1];
+        self.n_classes = n_classes.max(y.iter().max().map_or(1, |&m| m + 1));
+        self.nodes.clear();
+        let indices: Vec<usize> = (0..n).collect();
+        let mut rng = SeededRng::new(self.config.seed);
+        self.build(x, y, w, indices, 0, &mut rng);
+    }
+
+    /// Weighted class histogram of the given rows.
+    fn class_weights(&self, y: &[usize], w: &[f32], idx: &[usize]) -> Vec<f32> {
+        let mut counts = vec![0.0f32; self.n_classes];
+        for &i in idx {
+            counts[y[i]] += w[i];
+        }
+        counts
+    }
+
+    fn gini(counts: &[f32]) -> f32 {
+        let total: f32 = counts.iter().sum();
+        if total <= 0.0 {
+            return 0.0;
+        }
+        1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f32>()
+    }
+
+    fn majority(counts: &[f32]) -> usize {
+        counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite weights"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Recursively builds the subtree over `idx`, returning its node index.
+    fn build(
+        &mut self,
+        x: &Tensor,
+        y: &[usize],
+        w: &[f32],
+        idx: Vec<usize>,
+        depth: usize,
+        rng: &mut SeededRng,
+    ) -> usize {
+        let counts = self.class_weights(y, w, &idx);
+        let parent_gini = Self::gini(&counts);
+        let leaf_class = Self::majority(&counts);
+
+        let stop = depth >= self.config.max_depth
+            || idx.len() < self.config.min_samples_split
+            || parent_gini <= 0.0;
+        if !stop {
+            if let Some((feature, threshold, gain)) = self.best_split(x, y, w, &idx, rng) {
+                if gain >= self.config.min_impurity_decrease {
+                    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) = idx
+                        .iter()
+                        .partition(|&&i| x.get(&[i, feature]) <= threshold);
+                    if !left_idx.is_empty() && !right_idx.is_empty() {
+                        let node = self.nodes.len();
+                        self.nodes.push(Node::Leaf { class: leaf_class }); // placeholder
+                        let left = self.build(x, y, w, left_idx, depth + 1, rng);
+                        let right = self.build(x, y, w, right_idx, depth + 1, rng);
+                        self.nodes[node] = Node::Split {
+                            feature,
+                            threshold,
+                            left,
+                            right,
+                        };
+                        return node;
+                    }
+                }
+            }
+        }
+        let node = self.nodes.len();
+        self.nodes.push(Node::Leaf { class: leaf_class });
+        node
+    }
+
+    /// Finds the `(feature, threshold, gini_gain)` of the best split over
+    /// `idx`, or `None` when no feature separates anything.
+    fn best_split(
+        &self,
+        x: &Tensor,
+        y: &[usize],
+        w: &[f32],
+        idx: &[usize],
+        rng: &mut SeededRng,
+    ) -> Option<(usize, f32, f32)> {
+        let counts = self.class_weights(y, w, idx);
+        let parent_gini = Self::gini(&counts);
+        let total_w: f32 = counts.iter().sum();
+
+        let mut features: Vec<usize> = (0..self.n_features).collect();
+        if let Some(m) = self.config.max_features {
+            rng.shuffle(&mut features);
+            features.truncate(m.max(1));
+        }
+
+        let mut best: Option<(usize, f32, f32)> = None;
+        for &f in &features {
+            // Sort the candidate rows by this feature's value.
+            let mut vals: Vec<(f32, usize)> = idx.iter().map(|&i| (x.get(&[i, f]), i)).collect();
+            vals.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite feature"));
+            if vals.first().map(|v| v.0) == vals.last().map(|v| v.0) {
+                continue; // constant feature
+            }
+
+            // Candidate boundaries: all adjacent value changes, or an evenly
+            // spaced quantile subset if there are too many.
+            let mut boundaries: Vec<usize> = (1..vals.len())
+                .filter(|&k| vals[k - 1].0 < vals[k].0)
+                .collect();
+            if boundaries.len() > self.config.max_thresholds {
+                let step = boundaries.len() as f32 / self.config.max_thresholds as f32;
+                boundaries = (0..self.config.max_thresholds)
+                    .map(|q| boundaries[(q as f32 * step) as usize])
+                    .collect();
+            }
+
+            // Scan with running left-side class weights.
+            let mut left_counts = vec![0.0f32; self.n_classes];
+            let mut scanned = 0usize;
+            for &boundary in &boundaries {
+                while scanned < boundary {
+                    let (_, i) = vals[scanned];
+                    left_counts[y[i]] += w[i];
+                    scanned += 1;
+                }
+                let left_w: f32 = left_counts.iter().sum();
+                let right_counts: Vec<f32> = counts
+                    .iter()
+                    .zip(&left_counts)
+                    .map(|(&t, &l)| t - l)
+                    .collect();
+                let right_w = total_w - left_w;
+                if left_w <= 0.0 || right_w <= 0.0 {
+                    continue;
+                }
+                let score = (left_w * Self::gini(&left_counts)
+                    + right_w * Self::gini(&right_counts))
+                    / total_w;
+                let gain = parent_gini - score;
+                let threshold = 0.5 * (vals[boundary - 1].0 + vals[boundary].0);
+                if best.is_none_or(|(_, _, g)| gain > g) {
+                    best = Some((f, threshold, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predicts a single row (exposed for forest voting).
+    pub(crate) fn predict_row(&self, x: &Tensor, row: usize) -> usize {
+        assert!(!self.nodes.is_empty(), "predict before fit");
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { class } => return *class,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x.get(&[row, *feature]) <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn fit(&mut self, x: &Tensor, y: &[usize]) {
+        let n = x.shape()[0];
+        let w = vec![1.0f32; n];
+        let n_classes = y.iter().max().map_or(1, |&m| m + 1);
+        self.fit_weighted(x, y, &w, n_classes);
+    }
+
+    fn predict(&self, x: &Tensor) -> Vec<usize> {
+        assert_eq!(x.rank(), 2, "tree expects [rows, features]");
+        assert_eq!(x.shape()[1], self.n_features, "feature count mismatch");
+        (0..x.shape()[0]).map(|r| self.predict_row(x, r)).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "decision-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Tensor, Vec<usize>) {
+        // XOR replicated so min_samples_split is satisfied at depth 2.
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for _ in 0..4 {
+            for (a, b, l) in [(0., 0., 0), (0., 1., 1), (1., 0., 1), (1., 1., 0)] {
+                rows.push(vec![a, b]);
+                labels.push(l);
+            }
+        }
+        (Tensor::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn splits_axis_aligned_data() {
+        let x = Tensor::from_vec(vec![6, 1], vec![1., 2., 3., 10., 11., 12.]).unwrap();
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let mut tree = DecisionTree::new(DecisionTreeConfig::default());
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict(&x), y);
+        assert!(tree.depth() >= 1);
+    }
+
+    #[test]
+    fn learns_xor_with_depth_two() {
+        let (x, y) = xor_data();
+        let mut tree = DecisionTree::new(DecisionTreeConfig::default());
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict(&x), y, "depth-2 tree must solve XOR");
+    }
+
+    #[test]
+    fn depth_one_stump_cannot_solve_xor() {
+        let (x, y) = xor_data();
+        let mut stump = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 1,
+            ..Default::default()
+        });
+        stump.fit(&x, &y);
+        let acc = stump
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count() as f32
+            / y.len() as f32;
+        assert!(acc <= 0.75, "stump unexpectedly solved XOR: {acc}");
+        assert!(stump.depth() <= 1);
+    }
+
+    #[test]
+    fn weights_steer_the_majority() {
+        // Two overlapping points; the heavier one wins the leaf.
+        let x = Tensor::from_vec(vec![2, 1], vec![1.0, 1.0]).unwrap();
+        let y = vec![0usize, 1];
+        let mut tree = DecisionTree::new(DecisionTreeConfig::default());
+        tree.fit_weighted(&x, &y, &[0.1, 10.0], 2);
+        assert_eq!(tree.predict(&x), vec![1, 1]);
+    }
+
+    #[test]
+    fn pure_node_becomes_leaf() {
+        let x = Tensor::from_vec(vec![4, 1], vec![1., 2., 3., 4.]).unwrap();
+        let y = vec![1, 1, 1, 1];
+        let mut tree = DecisionTree::new(DecisionTreeConfig::default());
+        tree.fit(&x, &y);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.depth(), 0);
+    }
+
+    #[test]
+    fn max_depth_zero_is_majority_classifier() {
+        let x = Tensor::from_vec(vec![3, 1], vec![1., 2., 3.]).unwrap();
+        let y = vec![0, 1, 1];
+        let mut tree = DecisionTree::new(DecisionTreeConfig {
+            max_depth: 0,
+            ..Default::default()
+        });
+        tree.fit(&x, &y);
+        assert_eq!(tree.predict(&x), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn threshold_subsampling_still_splits() {
+        // 1000 distinct values → quantile candidate subsampling kicks in.
+        let vals: Vec<f32> = (0..1000).map(|i| i as f32).collect();
+        let y: Vec<usize> = (0..1000).map(|i| usize::from(i >= 500)).collect();
+        let x = Tensor::from_vec(vec![1000, 1], vals).unwrap();
+        let mut tree = DecisionTree::new(DecisionTreeConfig {
+            max_thresholds: 8,
+            ..Default::default()
+        });
+        tree.fit(&x, &y);
+        let acc = tree.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(acc >= 950, "quantile split badly placed: {acc}/1000");
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn predict_wrong_width_panics() {
+        let x = Tensor::from_vec(vec![2, 1], vec![0., 1.]).unwrap();
+        let mut tree = DecisionTree::new(DecisionTreeConfig::default());
+        tree.fit(&x, &[0, 1]);
+        tree.predict(&Tensor::zeros(vec![1, 3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training set")]
+    fn empty_fit_panics() {
+        let mut tree = DecisionTree::new(DecisionTreeConfig::default());
+        tree.fit(&Tensor::zeros(vec![0, 2]), &[]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests for the classical baselines.
+
+use pelican_ml::{
+    AdaBoost, AdaBoostConfig, Classifier, DecisionTree, DecisionTreeConfig, RandomForest,
+    RandomForestConfig, Svm, SvmConfig,
+};
+use pelican_tensor::{SeededRng, Tensor};
+use proptest::prelude::*;
+
+/// Random classification data: n rows, d features, k classes with
+/// class-dependent means so there is always signal.
+fn dataset(n: usize, d: usize, k: usize, seed: u64) -> (Tensor, Vec<usize>) {
+    let mut rng = SeededRng::new(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % k;
+        let row: Vec<f32> = (0..d)
+            .map(|j| rng.normal_with((class * (j + 1)) as f32, 0.8))
+            .collect();
+        rows.push(row);
+        labels.push(class);
+    }
+    (Tensor::from_rows(&rows).unwrap(), labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every classifier returns one valid class index per row.
+    #[test]
+    fn predictions_are_valid_classes(n in 8usize..40, d in 1usize..5, k in 2usize..4, seed in 0u64..50) {
+        let (x, y) = dataset(n, d, k, seed);
+        let mut models: Vec<Box<dyn Classifier>> = vec![
+            Box::new(DecisionTree::new(DecisionTreeConfig::default())),
+            Box::new(RandomForest::new(RandomForestConfig { n_trees: 5, ..Default::default() })),
+            Box::new(AdaBoost::new(AdaBoostConfig { n_estimators: 5, ..Default::default() })),
+            Box::new(Svm::new(SvmConfig { max_sweeps: 10, ..Default::default() })),
+        ];
+        for model in &mut models {
+            model.fit(&x, &y);
+            let preds = model.predict(&x);
+            prop_assert_eq!(preds.len(), n, "{}", model.name());
+            prop_assert!(preds.iter().all(|&p| p < k), "{} emitted an unseen class", model.name());
+        }
+    }
+
+    /// Trees respect their depth limit.
+    #[test]
+    fn tree_depth_is_bounded(max_depth in 0usize..6, seed in 0u64..50) {
+        let (x, y) = dataset(40, 3, 3, seed);
+        let mut tree = DecisionTree::new(DecisionTreeConfig { max_depth, ..Default::default() });
+        tree.fit(&x, &y);
+        prop_assert!(tree.depth() <= max_depth, "depth {} > limit {max_depth}", tree.depth());
+    }
+
+    /// A tree fit on a single class predicts only that class.
+    #[test]
+    fn constant_labels_constant_predictions(class in 0usize..3, seed in 0u64..50) {
+        let (x, _) = dataset(20, 2, 2, seed);
+        let y = vec![class; 20];
+        let mut tree = DecisionTree::new(DecisionTreeConfig::default());
+        tree.fit(&x, &y);
+        prop_assert!(tree.predict(&x).iter().all(|&p| p == class));
+    }
+
+    /// Trees are invariant to a strictly monotone feature transform
+    /// (threshold splits only use order).
+    #[test]
+    fn tree_is_monotone_invariant(seed in 0u64..50) {
+        let (x, y) = dataset(30, 2, 2, seed);
+        let x2 = x.map(|v| (v * 0.3).exp()); // strictly increasing map
+        let mut a = DecisionTree::new(DecisionTreeConfig::default());
+        let mut b = DecisionTree::new(DecisionTreeConfig::default());
+        a.fit(&x, &y);
+        b.fit(&x2, &y);
+        prop_assert_eq!(a.predict(&x), b.predict(&x2));
+    }
+
+    /// Separable data is learned perfectly by the tree-based models.
+    #[test]
+    fn separable_data_is_memorised(seed in 0u64..50) {
+        let (x, y) = dataset(24, 2, 3, seed); // class means 0/1/2+ per dim, σ=0.8
+        // Push the classes far apart to make them cleanly separable.
+        let x = x.map(|v| v * 5.0);
+        let mut forest = RandomForest::new(RandomForestConfig {
+            n_trees: 15,
+            ..Default::default()
+        });
+        forest.fit(&x, &y);
+        let acc = pelican_ml::accuracy(&forest, &x, &y);
+        prop_assert!(acc > 0.9, "forest training accuracy {acc}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Saving and loading trained parameters.
+//!
+//! A trained model's state is the ordered list of its parameter tensors
+//! (the order [`Layer::params_mut`] returns — deterministic for a given
+//! architecture). The format is a small self-describing binary layout:
+//!
+//! ```text
+//! magic "PLCN" | version u32 | param count u32 |
+//!   per param: rank u32, dims u32…, f32 data (little endian)
+//! ```
+//!
+//! Loading validates that shapes match the receiving model exactly, so a
+//! checkpoint can only be restored into the architecture that produced it.
+
+use crate::Layer;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"PLCN";
+const VERSION: u32 = 1;
+
+/// Error loading or saving model parameters.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem failure.
+    File(std::io::Error),
+    /// The data is not a parameter file or is truncated/corrupt.
+    Format(String),
+    /// The checkpoint does not match the receiving model's architecture.
+    ShapeMismatch(String),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::File(e) => write!(f, "parameter file i/o failed: {e}"),
+            IoError::Format(m) => write!(f, "malformed parameter data: {m}"),
+            IoError::ShapeMismatch(m) => write!(f, "checkpoint/model mismatch: {m}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::File(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::File(e)
+    }
+}
+
+/// Serialises a model's parameters to bytes.
+pub fn params_to_bytes(model: &mut dyn Layer) -> Bytes {
+    let params = model.params_mut();
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(params.len() as u32);
+    for p in params {
+        let shape = p.value.shape();
+        buf.put_u32_le(shape.len() as u32);
+        for &d in shape {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in p.value.as_slice() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Restores a model's parameters from bytes produced by
+/// [`params_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for corrupt data and
+/// [`IoError::ShapeMismatch`] when the checkpoint's parameter count or any
+/// tensor shape differs from the receiving model.
+pub fn params_from_bytes(model: &mut dyn Layer, data: &[u8]) -> Result<(), IoError> {
+    let mut buf = data;
+    if buf.remaining() < 12 || &buf[..4] != MAGIC {
+        return Err(IoError::Format("missing PLCN magic".into()));
+    }
+    buf.advance(4);
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::Format(format!("unsupported version {version}")));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut params = model.params_mut();
+    if count != params.len() {
+        return Err(IoError::ShapeMismatch(format!(
+            "checkpoint has {count} parameters, model has {}",
+            params.len()
+        )));
+    }
+    for (i, p) in params.iter_mut().enumerate() {
+        if buf.remaining() < 4 {
+            return Err(IoError::Format(format!("truncated at parameter {i}")));
+        }
+        let rank = buf.get_u32_le() as usize;
+        if buf.remaining() < rank * 4 {
+            return Err(IoError::Format(format!("truncated shape of parameter {i}")));
+        }
+        let shape: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
+        if shape != p.value.shape() {
+            return Err(IoError::ShapeMismatch(format!(
+                "parameter {i}: checkpoint {shape:?} vs model {:?}",
+                p.value.shape()
+            )));
+        }
+        let len: usize = shape.iter().product();
+        if buf.remaining() < len * 4 {
+            return Err(IoError::Format(format!("truncated data of parameter {i}")));
+        }
+        for v in p.value.as_mut_slice() {
+            *v = buf.get_f32_le();
+        }
+    }
+    if buf.has_remaining() {
+        return Err(IoError::Format(format!(
+            "{} trailing bytes after last parameter",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+/// Saves a model's parameters to `path`.
+///
+/// # Errors
+///
+/// Returns [`IoError::File`] on filesystem failure.
+pub fn save_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), IoError> {
+    fs::write(path, params_to_bytes(model))?;
+    Ok(())
+}
+
+/// Loads a model's parameters from `path`.
+///
+/// # Errors
+///
+/// See [`params_from_bytes`]; additionally [`IoError::File`] on filesystem
+/// failure.
+pub fn load_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let data = fs::read(path)?;
+    params_from_bytes(model, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dense, Layer, Mode, Sequential};
+    use pelican_tensor::{SeededRng, Tensor};
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = SeededRng::new(seed);
+        let mut s = Sequential::new();
+        s.push(Dense::new(3, 4, &mut rng));
+        s.push(Dense::new(4, 2, &mut rng));
+        s
+    }
+
+    #[test]
+    fn round_trip_restores_exact_outputs() {
+        let mut original = net(1);
+        let mut restored = net(2); // different init
+        let x = Tensor::ones(vec![2, 3]);
+        let y_original = original.forward(&x, Mode::Eval);
+        assert_ne!(y_original, restored.forward(&x, Mode::Eval));
+
+        let bytes = params_to_bytes(&mut original);
+        params_from_bytes(&mut restored, &bytes).expect("load");
+        assert_eq!(y_original, restored.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("pelican-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.plcn");
+        let mut a = net(3);
+        save_params(&mut a, &path).expect("save");
+        let mut b = net(4);
+        load_params(&mut b, &path).expect("load");
+        let x = Tensor::ones(vec![1, 3]);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let mut a = net(1);
+        let bytes = params_to_bytes(&mut a);
+        let mut rng = SeededRng::new(0);
+        let mut wrong = Sequential::new();
+        wrong.push(Dense::new(3, 5, &mut rng)); // different shape
+        wrong.push(Dense::new(5, 2, &mut rng));
+        let err = params_from_bytes(&mut wrong, &bytes).unwrap_err();
+        assert!(matches!(err, IoError::ShapeMismatch(_)), "{err}");
+
+        let mut fewer = Sequential::new();
+        fewer.push(Dense::new(3, 4, &mut rng));
+        let err = params_from_bytes(&mut fewer, &bytes).unwrap_err();
+        assert!(matches!(err, IoError::ShapeMismatch(_)), "{err}");
+    }
+
+    #[test]
+    fn corrupt_data_is_rejected() {
+        let mut m = net(1);
+        assert!(matches!(
+            params_from_bytes(&mut m, b"nope"),
+            Err(IoError::Format(_))
+        ));
+        let mut bytes = params_to_bytes(&mut m).to_vec();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(
+            params_from_bytes(&mut m, &bytes),
+            Err(IoError::Format(_))
+        ));
+        let mut extended = params_to_bytes(&mut m).to_vec();
+        extended.extend_from_slice(&[0; 8]);
+        assert!(matches!(
+            params_from_bytes(&mut m, &extended),
+            Err(IoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn errors_are_displayable_and_sourced() {
+        let e = IoError::Format("x".into());
+        assert!(!e.to_string().is_empty());
+        let io = IoError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,233 @@
+//! Elementwise activation functions.
+
+use crate::{Layer, Mode};
+use pelican_tensor::Tensor;
+
+/// The activation functions the paper's networks use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivationKind {
+    /// Rectified linear unit, `max(0, x)` — after every convolution.
+    Relu,
+    /// Hyperbolic tangent — the GRU output activation.
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^-x)` — LSTM gates.
+    Sigmoid,
+    /// Keras hard sigmoid `clamp(0.2x + 0.5, 0, 1)` — the GRU recurrent
+    /// activation.
+    HardSigmoid,
+    /// Leaky ReLU with slope 0.01 on the negative side — the standard fix
+    /// for dying-ReLU units in deep plain stacks.
+    LeakyRelu,
+    /// Exponential linear unit, `x` for `x > 0` else `e^x − 1`.
+    Elu,
+}
+
+impl ActivationKind {
+    /// Applies the function to a scalar.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => x.max(0.0),
+            ActivationKind::Tanh => x.tanh(),
+            ActivationKind::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            ActivationKind::HardSigmoid => (0.2 * x + 0.5).clamp(0.0, 1.0),
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            ActivationKind::Elu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    x.exp() - 1.0
+                }
+            }
+        }
+    }
+
+    /// Derivative expressed in terms of the pre-activation `x`.
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            ActivationKind::Sigmoid => {
+                let s = self.apply(x);
+                s * (1.0 - s)
+            }
+            ActivationKind::HardSigmoid => {
+                if (-2.5..2.5).contains(&x) {
+                    0.2
+                } else {
+                    0.0
+                }
+            }
+            ActivationKind::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            ActivationKind::Elu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    x.exp()
+                }
+            }
+        }
+    }
+}
+
+/// Elementwise activation layer of any [`ActivationKind`].
+///
+/// ```
+/// use pelican_nn::{Activation, ActivationKind, Layer, Mode};
+/// use pelican_tensor::Tensor;
+///
+/// let mut relu = Activation::new(ActivationKind::Relu);
+/// let x = Tensor::from_vec(vec![1, 3], vec![-1.0, 0.0, 2.0])?;
+/// assert_eq!(relu.forward(&x, Mode::Eval).as_slice(), &[0.0, 0.0, 2.0]);
+/// # Ok::<(), pelican_tensor::ShapeError>(())
+/// ```
+#[derive(Debug)]
+pub struct Activation {
+    kind: ActivationKind,
+    input: Option<Tensor>,
+}
+
+impl Activation {
+    /// Creates the activation layer.
+    pub fn new(kind: ActivationKind) -> Self {
+        Self { kind, input: None }
+    }
+
+    /// The wrapped function.
+    pub fn kind(&self) -> ActivationKind {
+        self.kind
+    }
+}
+
+impl Layer for Activation {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        self.input = Some(input.clone());
+        input.map(|v| self.kind.apply(v))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .input
+            .as_ref()
+            .expect("activation backward before forward");
+        input
+            .zip_map(grad_out, |x, g| g * self.kind.derivative(x))
+            .expect("activation gradient shape")
+    }
+
+    fn name(&self) -> &'static str {
+        match self.kind {
+            ActivationKind::Relu => "relu",
+            ActivationKind::Tanh => "tanh",
+            ActivationKind::Sigmoid => "sigmoid",
+            ActivationKind::HardSigmoid => "hard_sigmoid",
+            ActivationKind::LeakyRelu => "leaky_relu",
+            ActivationKind::Elu => "elu",
+        }
+    }
+
+    fn param_layer_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut a = Activation::new(ActivationKind::Relu);
+        let x = Tensor::from_vec(vec![4], vec![-2.0, -0.0, 1.5, 3.0]).unwrap();
+        assert_eq!(a.forward(&x, Mode::Eval).as_slice(), &[0.0, 0.0, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn hard_sigmoid_saturates() {
+        let k = ActivationKind::HardSigmoid;
+        assert_eq!(k.apply(-10.0), 0.0);
+        assert_eq!(k.apply(10.0), 1.0);
+        assert!((k.apply(0.0) - 0.5).abs() < 1e-7);
+        assert_eq!(k.derivative(-10.0), 0.0);
+        assert_eq!(k.derivative(0.0), 0.2);
+    }
+
+    #[test]
+    fn sigmoid_and_tanh_ranges() {
+        for &x in &[-5.0f32, -1.0, 0.0, 1.0, 5.0] {
+            let s = ActivationKind::Sigmoid.apply(x);
+            assert!((0.0..=1.0).contains(&s));
+            let t = ActivationKind::Tanh.apply(x);
+            assert!((-1.0..=1.0).contains(&t));
+        }
+    }
+
+    #[test]
+    fn gradcheck_tanh() {
+        check_layer(Activation::new(ActivationKind::Tanh), &[3, 4], 1, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_sigmoid() {
+        check_layer(Activation::new(ActivationKind::Sigmoid), &[3, 4], 2, 1e-2);
+    }
+
+    #[test]
+    fn gradcheck_relu() {
+        // ReLU's kink makes FD noisy exactly at 0; the random input avoids it
+        // with probability 1.
+        check_layer(Activation::new(ActivationKind::Relu), &[3, 4], 3, 2e-2);
+    }
+
+    #[test]
+    fn leaky_relu_keeps_negative_gradient_alive() {
+        let k = ActivationKind::LeakyRelu;
+        assert_eq!(k.apply(-2.0), -0.02);
+        assert_eq!(k.apply(3.0), 3.0);
+        assert_eq!(k.derivative(-1.0), 0.01);
+        assert_eq!(k.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn elu_is_smooth_at_origin_from_the_left() {
+        let k = ActivationKind::Elu;
+        assert!((k.apply(-1e-4) - (-1e-4f32).exp_m1()).abs() < 1e-6);
+        assert_eq!(k.apply(2.0), 2.0);
+        assert!((k.derivative(-0.5) - (-0.5f32).exp()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_leaky_relu_and_elu() {
+        check_layer(Activation::new(ActivationKind::LeakyRelu), &[3, 4], 4, 2e-2);
+        check_layer(Activation::new(ActivationKind::Elu), &[3, 4], 5, 2e-2);
+    }
+
+    #[test]
+    fn preserves_rank3_shapes() {
+        let mut a = Activation::new(ActivationKind::Relu);
+        let x = Tensor::ones(vec![2, 3, 4]);
+        assert_eq!(a.forward(&x, Mode::Train).shape(), &[2, 3, 4]);
+        assert_eq!(a.backward(&Tensor::ones(vec![2, 3, 4])).shape(), &[2, 3, 4]);
+    }
+}

@@ -1,0 +1,276 @@
+//! 1-D convolution with "same" padding.
+
+use super::btc;
+use crate::{Layer, Mode, Param};
+use pelican_tensor::{Init, SeededRng, Tensor};
+
+/// 1-D convolution over `[batch, time, channels]`, stride 1, zero-padded so
+/// the output length equals the input length (Keras' `padding="same"`).
+///
+/// This is the spatial-feature extractor of every Pelican block: "the
+/// convolution operation in this layer extracts the spatial features from
+/// the input data and produces a feature map at the output" (Section IV,
+/// item 2). The paper uses kernel size 10 with as many filters as input
+/// features so the residual add stays shape-compatible.
+///
+/// Weights are `[kernel, in_channels, out_channels]`, Glorot-initialised.
+///
+/// ```
+/// use pelican_nn::{Conv1d, Layer, Mode};
+/// use pelican_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut conv = Conv1d::new(4, 4, 10, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(vec![2, 1, 4]), Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 1, 4]);
+/// ```
+#[derive(Debug)]
+pub struct Conv1d {
+    weight: Param, // [k, c_in, c_out]
+    bias: Param,   // [c_out]
+    kernel: usize,
+    in_channels: usize,
+    out_channels: usize,
+    input: Option<Tensor>,
+}
+
+impl Conv1d {
+    /// Creates a same-padded conv layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel == 0`.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut SeededRng) -> Self {
+        assert!(kernel > 0, "kernel size must be positive");
+        let fan_in = kernel * in_channels;
+        let fan_out = kernel * out_channels;
+        let weight = Init::GlorotUniform.tensor(
+            vec![kernel, in_channels, out_channels],
+            (fan_in, fan_out),
+            rng,
+        );
+        Self {
+            weight: Param::new(weight),
+            bias: Param::new(Tensor::zeros(vec![out_channels])),
+            kernel,
+            in_channels,
+            out_channels,
+            input: None,
+        }
+    }
+
+    /// Kernel width.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Left padding for "same" output length (Keras convention: total
+    /// padding `k-1`, split `(k-1)/2` left, the remainder right).
+    fn pad_left(&self) -> isize {
+        ((self.kernel - 1) / 2) as isize
+    }
+
+    /// Extracts the `[c_in, c_out]` weight slab for kernel tap `k`.
+    fn weight_tap(&self, k: usize) -> Tensor {
+        let size = self.in_channels * self.out_channels;
+        let data = self.weight.value.as_slice()[k * size..(k + 1) * size].to_vec();
+        Tensor::from_vec(vec![self.in_channels, self.out_channels], data).expect("tap shape")
+    }
+}
+
+impl Layer for Conv1d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (b, t, c) = btc(input.shape());
+        assert_eq!(c, self.in_channels, "conv1d channel mismatch");
+        let rank3 = input
+            .reshape(vec![b, t, c])
+            .expect("conv input promote");
+        let pad = self.pad_left();
+
+        let flat_in = rank3.reshape(vec![b * t, c]).expect("conv flatten");
+        let mut out = Tensor::zeros(vec![b * t, self.out_channels]);
+        for k in 0..self.kernel {
+            let shift = k as isize - pad; // x index = t_out + shift
+            // Valid output positions: 0 <= t_out + shift < t.
+            let t_lo = (-shift).max(0) as usize;
+            let t_hi = ((t as isize - shift).min(t as isize)).max(0) as usize;
+            if t_lo >= t_hi {
+                continue;
+            }
+            // Gather the shifted input rows across the whole batch.
+            let mut in_rows = Vec::with_capacity(b * (t_hi - t_lo));
+            let mut out_rows = Vec::with_capacity(b * (t_hi - t_lo));
+            for bi in 0..b {
+                for to in t_lo..t_hi {
+                    in_rows.push(bi * t + (to as isize + shift) as usize);
+                    out_rows.push(bi * t + to);
+                }
+            }
+            let xs = flat_in.gather_rows(&in_rows);
+            let tap = self.weight_tap(k);
+            let contrib = xs.matmul(&tap).expect("conv tap matmul");
+            let cw = self.out_channels;
+            for (ri, &ro) in out_rows.iter().enumerate() {
+                let src = &contrib.as_slice()[ri * cw..(ri + 1) * cw];
+                let dst = &mut out.as_mut_slice()[ro * cw..(ro + 1) * cw];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+        out.add_row_bias(&self.bias.value).expect("conv bias");
+        self.input = Some(rank3);
+        out.reshape(vec![b, t, self.out_channels]).expect("conv out")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let input = self
+            .input
+            .as_ref()
+            .expect("conv1d backward before forward");
+        let (b, t, c) = btc(input.shape());
+        let pad = self.pad_left();
+        let flat_in = input.reshape(vec![b * t, c]).expect("conv flatten");
+        let dy = grad_out
+            .reshape(vec![b * t, self.out_channels])
+            .expect("conv grad flatten");
+
+        // Bias gradient: sum of dy over all positions.
+        let db = dy.sum_axis0().expect("conv db");
+        self.bias.grad.add_assign(&db).expect("db shape");
+
+        let mut dx = Tensor::zeros(vec![b * t, c]);
+        let tap_size = self.in_channels * self.out_channels;
+        for k in 0..self.kernel {
+            let shift = k as isize - pad;
+            let t_lo = (-shift).max(0) as usize;
+            let t_hi = ((t as isize - shift).min(t as isize)).max(0) as usize;
+            if t_lo >= t_hi {
+                continue;
+            }
+            let mut in_rows = Vec::with_capacity(b * (t_hi - t_lo));
+            let mut out_rows = Vec::with_capacity(b * (t_hi - t_lo));
+            for bi in 0..b {
+                for to in t_lo..t_hi {
+                    in_rows.push(bi * t + (to as isize + shift) as usize);
+                    out_rows.push(bi * t + to);
+                }
+            }
+            let xs = flat_in.gather_rows(&in_rows);
+            let dys = dy.gather_rows(&out_rows);
+            // dW_k += Xsᵀ · dYs
+            let dtap = xs.matmul_at(&dys).expect("conv dW");
+            let dst = &mut self.weight.grad.as_mut_slice()[k * tap_size..(k + 1) * tap_size];
+            for (d, &s) in dst.iter_mut().zip(dtap.as_slice()) {
+                *d += s;
+            }
+            // dXs += dYs · W_kᵀ, scattered back to shifted rows.
+            let tap = self.weight_tap(k);
+            let dxs = dys.matmul_bt(&tap).expect("conv dX");
+            for (ri, &row) in in_rows.iter().enumerate() {
+                let src = &dxs.as_slice()[ri * c..(ri + 1) * c];
+                let dst = &mut dx.as_mut_slice()[row * c..(row + 1) * c];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d += s;
+                }
+            }
+        }
+        dx.reshape(input.shape().to_vec()).expect("conv dx shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "conv1d"
+    }
+
+    fn param_layer_count(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+
+    /// A conv with kernel 1 and identity weights must be the identity.
+    #[test]
+    fn kernel1_identity_weights() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv1d::new(3, 3, 1, &mut rng);
+        conv.weight.value = Tensor::eye(3).reshape(vec![1, 3, 3]).unwrap();
+        let x = Tensor::from_vec(vec![1, 2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let y = conv.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    /// Known values: kernel 3 averaging filter over a ramp.
+    #[test]
+    fn kernel3_known_values() {
+        let mut rng = SeededRng::new(0);
+        let mut conv = Conv1d::new(1, 1, 3, &mut rng);
+        conv.weight.value = Tensor::from_vec(vec![3, 1, 1], vec![1.0, 1.0, 1.0]).unwrap();
+        let x = Tensor::from_vec(vec![1, 4, 1], vec![1., 2., 3., 4.]).unwrap();
+        let y = conv.forward(&x, Mode::Eval);
+        // pad_left = 1: y[t] = x[t-1] + x[t] + x[t+1] with zero padding.
+        assert_eq!(y.as_slice(), &[3., 6., 9., 7.]);
+    }
+
+    /// Even kernel (like the paper's k=10) pads (k-1)/2 left.
+    #[test]
+    fn even_kernel_same_length() {
+        let mut rng = SeededRng::new(1);
+        let mut conv = Conv1d::new(2, 5, 10, &mut rng);
+        let y = conv.forward(&Tensor::ones(vec![3, 7, 2]), Mode::Eval);
+        assert_eq!(y.shape(), &[3, 7, 5]);
+    }
+
+    /// The paper's configuration: sequence length 1, only the centre tap
+    /// ever touches data.
+    #[test]
+    fn seq_len_one_uses_centre_tap() {
+        let mut rng = SeededRng::new(2);
+        let mut conv = Conv1d::new(4, 4, 10, &mut rng);
+        let x = Tensor::ones(vec![2, 1, 4]);
+        let y = conv.forward(&x, Mode::Eval);
+        // Expected: x · W[pad_left] + b with pad_left = 4.
+        let tap = conv.weight_tap(4);
+        let expect = Tensor::ones(vec![2, 4]).matmul(&tap).unwrap();
+        for (a, e) in y.as_slice().iter().zip(expect.as_slice()) {
+            assert!((a - e).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradcheck_conv_seq1() {
+        let mut rng = SeededRng::new(3);
+        let conv = Conv1d::new(3, 3, 10, &mut rng);
+        check_layer(conv, &[2, 1, 3], 41, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_conv_seq5() {
+        let mut rng = SeededRng::new(4);
+        let conv = Conv1d::new(2, 4, 3, &mut rng);
+        check_layer(conv, &[2, 5, 2], 43, 2e-2);
+    }
+
+    #[test]
+    fn accepts_rank2_input_as_seq1() {
+        let mut rng = SeededRng::new(5);
+        let mut conv = Conv1d::new(4, 4, 3, &mut rng);
+        let y = conv.forward(&Tensor::ones(vec![2, 4]), Mode::Eval);
+        assert_eq!(y.shape(), &[2, 1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let mut rng = SeededRng::new(6);
+        let mut conv = Conv1d::new(3, 3, 3, &mut rng);
+        conv.forward(&Tensor::ones(vec![2, 1, 4]), Mode::Eval);
+    }
+}

@@ -1,0 +1,143 @@
+//! Inverted dropout.
+
+use crate::{Layer, Mode};
+use pelican_tensor::{SeededRng, Tensor};
+
+/// Inverted dropout: during training each element is zeroed with
+/// probability `rate` and survivors are scaled by `1/(1-rate)`, so
+/// evaluation mode is a pure identity.
+///
+/// The paper sets `rate = 0.6` in every block (Table I) to fight the
+/// overfitting caused by small training sets (Section V-G).
+///
+/// ```
+/// use pelican_nn::{Dropout, Layer, Mode};
+/// use pelican_tensor::Tensor;
+///
+/// let mut d = Dropout::new(0.5, 42);
+/// let x = Tensor::ones(vec![4, 4]);
+/// // Identity at evaluation time.
+/// assert_eq!(d.forward(&x, Mode::Eval), x);
+/// ```
+#[derive(Debug)]
+pub struct Dropout {
+    rate: f32,
+    rng: SeededRng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with the given drop probability and RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= rate < 1.0`.
+    pub fn new(rate: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&rate),
+            "dropout rate must be in [0, 1), got {rate}"
+        );
+        Self {
+            rate,
+            rng: SeededRng::new(seed),
+            mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn rate(&self) -> f32 {
+        self.rate
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.rate == 0.0 {
+            self.mask = None;
+            return input.clone();
+        }
+        let keep = 1.0 - self.rate;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| {
+                if self.rng.uniform() < self.rate {
+                    0.0
+                } else {
+                    scale
+                }
+            })
+            .collect();
+        let mask = Tensor::from_vec(input.shape().to_vec(), mask_data).expect("mask shape");
+        let out = input.zip_map(&mask, |x, m| x * m).expect("mask shape");
+        self.mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        match &self.mask {
+            Some(mask) => grad_out.zip_map(mask, |g, m| g * m).expect("mask shape"),
+            None => grad_out.clone(),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "dropout"
+    }
+
+    fn param_layer_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_mode_is_identity() {
+        let mut d = Dropout::new(0.6, 1);
+        let x = Tensor::ones(vec![8, 8]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+        assert_eq!(d.backward(&x), x);
+    }
+
+    #[test]
+    fn rate_zero_is_identity_even_in_train() {
+        let mut d = Dropout::new(0.0, 1);
+        let x = Tensor::ones(vec![8, 8]);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+
+    #[test]
+    fn train_mode_zeros_roughly_rate_fraction() {
+        let mut d = Dropout::new(0.6, 2);
+        let x = Tensor::ones(vec![100, 100]);
+        let y = d.forward(&x, Mode::Train);
+        let zeros = y.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / y.len() as f32;
+        assert!((frac - 0.6).abs() < 0.03, "dropped fraction {frac}");
+        // Survivors are scaled to preserve the expectation.
+        let survivor = y.as_slice().iter().find(|&&v| v != 0.0).unwrap();
+        assert!((survivor - 1.0 / 0.4).abs() < 1e-5);
+        // E[y] ≈ E[x].
+        assert!((y.mean() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(vec![10, 10]);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::ones(vec![10, 10]));
+        // Gradient flows exactly where the forward pass let values through.
+        for (yv, gv) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rejects_rate_one() {
+        Dropout::new(1.0, 0);
+    }
+}

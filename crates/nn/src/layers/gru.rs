@@ -1,0 +1,369 @@
+//! Gated recurrent unit.
+
+use super::btc;
+use crate::{ActivationKind, Layer, Mode, Param};
+use pelican_tensor::{Init, SeededRng, Tensor};
+
+/// Gated recurrent unit over `[batch, time, channels]`, returning the full
+/// hidden-state sequence (`return_sequences=True`).
+///
+/// "GRU is a recurrent network that can extract the temporal features of
+/// the input data through a recurrent process … an activation function and
+/// a recurrent activation function are needed for GRU, for which tanh and
+/// hard sigmoid are, respectively, used here" (Section IV, item 4).
+///
+/// Gate equations (Keras v1 convention, `reset_after=False`):
+///
+/// ```text
+/// z_t = hardσ(x_t·W_z + h_{t-1}·U_z + b_z)          (update gate)
+/// r_t = hardσ(x_t·W_r + h_{t-1}·U_r + b_r)          (reset gate)
+/// h̃_t = tanh(x_t·W_h + (r_t ⊙ h_{t-1})·U_h + b_h)   (candidate)
+/// h_t = z_t ⊙ h_{t-1} + (1 − z_t) ⊙ h̃_t
+/// ```
+///
+/// ```
+/// use pelican_nn::{Gru, Layer, Mode};
+/// use pelican_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut gru = Gru::new(4, 4, &mut rng);
+/// let y = gru.forward(&Tensor::zeros(vec![2, 3, 4]), Mode::Train);
+/// assert_eq!(y.shape(), &[2, 3, 4]);
+/// ```
+#[derive(Debug)]
+pub struct Gru {
+    // Input kernels [in, units] per gate.
+    wxz: Param,
+    wxr: Param,
+    wxh: Param,
+    // Recurrent kernels [units, units] per gate.
+    whz: Param,
+    whr: Param,
+    whh: Param,
+    // Biases [units] per gate.
+    bz: Param,
+    br: Param,
+    bh: Param,
+    in_channels: usize,
+    units: usize,
+    cache: Option<Vec<StepCache>>,
+    input_shape: Option<Vec<usize>>,
+}
+
+#[derive(Debug)]
+struct StepCache {
+    x: Tensor,      // [b, in]
+    h_prev: Tensor, // [b, u]
+    z: Tensor,
+    r: Tensor,
+    hh: Tensor,
+    z_pre: Tensor,
+    r_pre: Tensor,
+}
+
+impl Gru {
+    /// Creates a GRU with `in_channels` inputs and `units` hidden units.
+    pub fn new(in_channels: usize, units: usize, rng: &mut SeededRng) -> Self {
+        let wx = |rng: &mut SeededRng| {
+            Param::new(Init::GlorotUniform.tensor(
+                vec![in_channels, units],
+                (in_channels, units),
+                rng,
+            ))
+        };
+        let wh = |rng: &mut SeededRng| {
+            Param::new(Init::GlorotUniform.tensor(vec![units, units], (units, units), rng))
+        };
+        let b = || Param::new(Tensor::zeros(vec![units]));
+        Self {
+            wxz: wx(rng),
+            wxr: wx(rng),
+            wxh: wx(rng),
+            whz: wh(rng),
+            whr: wh(rng),
+            whh: wh(rng),
+            bz: b(),
+            br: b(),
+            bh: b(),
+            in_channels,
+            units,
+            cache: None,
+            input_shape: None,
+        }
+    }
+
+    /// Hidden width.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Computes `x·W + h·U + b` for one gate.
+    fn gate_pre(x: &Tensor, h: &Tensor, w: &Tensor, u: &Tensor, b: &Tensor) -> Tensor {
+        let mut pre = x.matmul(w).expect("gru gate x·W");
+        let hu = h.matmul(u).expect("gru gate h·U");
+        pre.add_assign(&hu).expect("gate add");
+        pre.add_row_bias(b).expect("gate bias");
+        pre
+    }
+}
+
+/// Applies an activation elementwise.
+fn act(x: &Tensor, k: ActivationKind) -> Tensor {
+    x.map(|v| k.apply(v))
+}
+
+/// Elementwise derivative-of-activation at the cached pre-activation,
+/// multiplied by the incoming gradient.
+fn act_grad(pre: &Tensor, g: &Tensor, k: ActivationKind) -> Tensor {
+    pre.zip_map(g, |x, gv| gv * k.derivative(x)).expect("act grad")
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (b, t, c) = btc(input.shape());
+        assert_eq!(c, self.in_channels, "gru channel mismatch");
+        let flat = input.reshape(vec![b * t, c]).expect("gru flatten");
+        let u = self.units;
+
+        let mut h = Tensor::zeros(vec![b, u]);
+        let mut cache = Vec::with_capacity(t);
+        let mut out = Tensor::zeros(vec![b, t, u]);
+        for ti in 0..t {
+            let rows: Vec<usize> = (0..b).map(|bi| bi * t + ti).collect();
+            let x = flat.gather_rows(&rows);
+
+            let z_pre = Self::gate_pre(&x, &h, &self.wxz.value, &self.whz.value, &self.bz.value);
+            let r_pre = Self::gate_pre(&x, &h, &self.wxr.value, &self.whr.value, &self.br.value);
+            let z = act(&z_pre, ActivationKind::HardSigmoid);
+            let r = act(&r_pre, ActivationKind::HardSigmoid);
+
+            let rh = r.zip_map(&h, |a, b| a * b).expect("r⊙h");
+            let mut hh_pre = x.matmul(&self.wxh.value).expect("x·Wh");
+            let ruh = rh.matmul(&self.whh.value).expect("(r⊙h)·Uh");
+            hh_pre.add_assign(&ruh).expect("hh add");
+            hh_pre.add_row_bias(&self.bh.value).expect("hh bias");
+            let hh = act(&hh_pre, ActivationKind::Tanh);
+
+            let h_new = z
+                .zip_map(&h, |zv, hv| zv * hv)
+                .expect("z⊙h")
+                .zip_map(
+                    &z.zip_map(&hh, |zv, hv| (1.0 - zv) * hv).expect("(1-z)⊙hh"),
+                    |a, c| a + c,
+                )
+                .expect("h update");
+
+            // Write h_new into output rows.
+            for bi in 0..b {
+                let src = &h_new.as_slice()[bi * u..(bi + 1) * u];
+                let dst = &mut out.as_mut_slice()[(bi * t + ti) * u..(bi * t + ti + 1) * u];
+                dst.copy_from_slice(src);
+            }
+
+            cache.push(StepCache {
+                x,
+                h_prev: h,
+                z,
+                r,
+                hh,
+                z_pre,
+                r_pre,
+            });
+            h = h_new;
+        }
+        self.cache = Some(cache);
+        self.input_shape = Some(input.shape().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("gru backward before forward");
+        let shape = self.input_shape.clone().expect("gru input shape");
+        let (b, t, c) = btc(&shape);
+        let u = self.units;
+        let dy = grad_out
+            .reshape(vec![b * t, u])
+            .expect("gru grad flatten");
+
+        let mut dx = Tensor::zeros(vec![b * t, c]);
+        let mut dh_carry = Tensor::zeros(vec![b, u]);
+        for ti in (0..t).rev() {
+            let step = &cache[ti];
+            // dh = output grad at this step + carry from step t+1.
+            let rows: Vec<usize> = (0..b).map(|bi| bi * t + ti).collect();
+            let mut dh = dy.gather_rows(&rows);
+            dh.add_assign(&dh_carry).expect("dh carry");
+
+            // h = z⊙h_prev + (1-z)⊙hh
+            let dz = dh
+                .zip_map(&step.h_prev, |g, hp| g * hp)
+                .expect("dz a")
+                .zip_map(&dh.zip_map(&step.hh, |g, hv| g * hv).expect("dz b"), |a, b| {
+                    a - b
+                })
+                .expect("dz");
+            let dhh = dh
+                .zip_map(&step.z, |g, zv| g * (1.0 - zv))
+                .expect("dhh");
+            let mut dh_prev = dh.zip_map(&step.z, |g, zv| g * zv).expect("dh_prev direct");
+
+            // Candidate: hh = tanh(hh_pre); d(hh_pre) = dhh ⊙ (1 - hh²).
+            let dhh_pre = step
+                .hh
+                .zip_map(&dhh, |hv, g| g * (1.0 - hv * hv))
+                .expect("dhh_pre");
+            // a = r ⊙ h_prev feeds hh_pre through U_h.
+            let da = dhh_pre.matmul_bt(&self.whh.value).expect("da");
+            let dr = da
+                .zip_map(&step.h_prev, |g, hp| g * hp)
+                .expect("dr");
+            dh_prev
+                .add_assign(&da.zip_map(&step.r, |g, rv| g * rv).expect("dh via a"))
+                .expect("dh_prev accum");
+
+            let dz_pre = act_grad(&step.z_pre, &dz, ActivationKind::HardSigmoid);
+            let dr_pre = act_grad(&step.r_pre, &dr, ActivationKind::HardSigmoid);
+
+            dh_prev
+                .add_assign(&dz_pre.matmul_bt(&self.whz.value).expect("dh via Uz"))
+                .expect("dh_prev z");
+            dh_prev
+                .add_assign(&dr_pre.matmul_bt(&self.whr.value).expect("dh via Ur"))
+                .expect("dh_prev r");
+
+            // Input gradient.
+            let mut dxt = dz_pre.matmul_bt(&self.wxz.value).expect("dx z");
+            dxt.add_assign(&dr_pre.matmul_bt(&self.wxr.value).expect("dx r"))
+                .expect("dx r add");
+            dxt.add_assign(&dhh_pre.matmul_bt(&self.wxh.value).expect("dx h"))
+                .expect("dx h add");
+            for (bi, &row) in rows.iter().enumerate() {
+                let src = &dxt.as_slice()[bi * c..(bi + 1) * c];
+                let dst = &mut dx.as_mut_slice()[row * c..(row + 1) * c];
+                dst.copy_from_slice(src);
+            }
+
+            // Parameter gradients.
+            let rh = step
+                .r
+                .zip_map(&step.h_prev, |a, b| a * b)
+                .expect("r⊙h recompute");
+            let acc = |p: &mut Param, g: Tensor| {
+                p.grad.add_assign(&g).expect("param grad shape");
+            };
+            acc(&mut self.wxz, step.x.matmul_at(&dz_pre).expect("dWz"));
+            acc(&mut self.wxr, step.x.matmul_at(&dr_pre).expect("dWr"));
+            acc(&mut self.wxh, step.x.matmul_at(&dhh_pre).expect("dWh"));
+            acc(&mut self.whz, step.h_prev.matmul_at(&dz_pre).expect("dUz"));
+            acc(&mut self.whr, step.h_prev.matmul_at(&dr_pre).expect("dUr"));
+            acc(&mut self.whh, rh.matmul_at(&dhh_pre).expect("dUh"));
+            acc(&mut self.bz, dz_pre.sum_axis0().expect("dbz"));
+            acc(&mut self.br, dr_pre.sum_axis0().expect("dbr"));
+            acc(&mut self.bh, dhh_pre.sum_axis0().expect("dbh"));
+
+            dh_carry = dh_prev;
+        }
+        dx.reshape(shape).expect("gru dx shape")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wxz,
+            &mut self.wxr,
+            &mut self.wxh,
+            &mut self.whz,
+            &mut self.whr,
+            &mut self.whh,
+            &mut self.bz,
+            &mut self.br,
+            &mut self.bh,
+        ]
+    }
+
+    fn name(&self) -> &'static str {
+        "gru"
+    }
+
+    fn param_layer_count(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+
+    #[test]
+    fn output_shape_returns_sequences() {
+        let mut rng = SeededRng::new(0);
+        let mut gru = Gru::new(3, 5, &mut rng);
+        let y = gru.forward(&Tensor::zeros(vec![2, 4, 3]), Mode::Train);
+        assert_eq!(y.shape(), &[2, 4, 5]);
+    }
+
+    #[test]
+    fn zero_input_zero_weights_gives_zero_output() {
+        let mut rng = SeededRng::new(0);
+        let mut gru = Gru::new(2, 2, &mut rng);
+        for p in gru.params_mut() {
+            p.value.fill_zero();
+        }
+        let y = gru.forward(&Tensor::zeros(vec![1, 3, 2]), Mode::Train);
+        // z = hardσ(0) = 0.5, hh = tanh(0) = 0, h = 0.5·h_prev → stays 0.
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn hidden_state_propagates_across_time() {
+        let mut rng = SeededRng::new(1);
+        let mut gru = Gru::new(1, 1, &mut rng);
+        // Fix the input kernel so t=0 produces a solid hidden state; with
+        // zero recurrent weights later steps decay via h_t = z·h_{t-1}.
+        for p in gru.params_mut() {
+            p.value.fill_zero();
+        }
+        gru.wxh.value = Tensor::ones(vec![1, 1]);
+        // Step input only at t=0; later outputs should still be nonzero
+        // because the hidden state carries through the update gate.
+        let x = Tensor::from_vec(vec![1, 3, 1], vec![5.0, 0.0, 0.0]).unwrap();
+        let y = gru.forward(&x, Mode::Train);
+        // h0 = (1 - 0.5)·tanh(5) ≈ 0.4999.
+        assert!((y.as_slice()[0] - 0.5 * 5.0f32.tanh()).abs() < 1e-4);
+        // h1 = z·h0 = 0.5·h0 (candidate is tanh(0) = 0).
+        assert!((y.as_slice()[1] - 0.25 * 5.0f32.tanh()).abs() < 1e-4, "{y:?}");
+        // h2 = 0.5·h1.
+        assert!((y.as_slice()[2] - 0.125 * 5.0f32.tanh()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradcheck_gru_seq1() {
+        let mut rng = SeededRng::new(2);
+        let gru = Gru::new(3, 3, &mut rng);
+        check_layer(gru, &[2, 1, 3], 61, 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_gru_seq4_bptt() {
+        let mut rng = SeededRng::new(3);
+        let gru = Gru::new(2, 3, &mut rng);
+        check_layer(gru, &[2, 4, 2], 63, 3e-2);
+    }
+
+    #[test]
+    fn rank2_input_is_seq1() {
+        let mut rng = SeededRng::new(4);
+        let mut gru = Gru::new(3, 4, &mut rng);
+        let y = gru.forward(&Tensor::ones(vec![2, 3]), Mode::Train);
+        assert_eq!(y.shape(), &[2, 1, 4]);
+    }
+
+    #[test]
+    fn has_nine_parameter_tensors_one_param_layer() {
+        let mut rng = SeededRng::new(5);
+        let mut gru = Gru::new(3, 4, &mut rng);
+        assert_eq!(gru.params_mut().len(), 9);
+        assert_eq!(gru.param_layer_count(), 1);
+        assert_eq!(gru.units(), 4);
+    }
+}

@@ -1,0 +1,187 @@
+//! Layer normalisation — the batch-independent alternative to BatchNorm,
+//! used by the normalisation ablation.
+
+use super::btc;
+use crate::{Layer, Mode, Param};
+use pelican_tensor::Tensor;
+
+/// Per-example layer normalisation over the channel axis.
+///
+/// Unlike [`BatchNorm`](crate::BatchNorm), statistics are computed per
+/// example (over channels), so training and inference behave identically
+/// and tiny batches pose no problem. Provided to ablate the paper's choice
+/// of BatchNorm inside the residual block.
+///
+/// ```
+/// use pelican_nn::{Layer, LayerNorm, Mode};
+/// use pelican_tensor::Tensor;
+///
+/// let mut ln = LayerNorm::new(4);
+/// let x = Tensor::from_vec(vec![1, 4], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let y = ln.forward(&x, Mode::Train);
+/// assert!(y.sum().abs() < 1e-4); // zero mean per example
+/// # Ok::<(), pelican_tensor::ShapeError>(())
+/// ```
+#[derive(Debug)]
+pub struct LayerNorm {
+    gamma: Param,
+    beta: Param,
+    eps: f32,
+    cache: Option<Cache>,
+}
+
+#[derive(Debug)]
+struct Cache {
+    xhat: Tensor,
+    inv_std: Vec<f32>,
+    input_shape: Vec<usize>,
+}
+
+impl LayerNorm {
+    /// Creates a layer-norm over `channels` with ε = 1e-5.
+    pub fn new(channels: usize) -> Self {
+        Self {
+            gamma: Param::new(Tensor::ones(vec![channels])),
+            beta: Param::new(Tensor::zeros(vec![channels])),
+            eps: 1e-5,
+            cache: None,
+        }
+    }
+
+    /// Number of normalised channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.len()
+    }
+}
+
+impl Layer for LayerNorm {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (b, t, c) = btc(input.shape());
+        assert_eq!(c, self.channels(), "layernorm channel mismatch");
+        let flat = input.reshape(vec![b * t, c]).expect("ln flatten");
+
+        let mut xhat = flat.clone();
+        let mut inv_std = Vec::with_capacity(b * t);
+        for row in xhat.as_mut_slice().chunks_mut(c) {
+            let mean: f32 = row.iter().sum::<f32>() / c as f32;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / c as f32;
+            let is = 1.0 / (var + self.eps).sqrt();
+            inv_std.push(is);
+            for v in row.iter_mut() {
+                *v = (*v - mean) * is;
+            }
+        }
+
+        let mut y = xhat.clone();
+        for row in y.as_mut_slice().chunks_mut(c) {
+            for ((v, &g), &be) in row
+                .iter_mut()
+                .zip(self.gamma.value.as_slice())
+                .zip(self.beta.value.as_slice())
+            {
+                *v = *v * g + be;
+            }
+        }
+        self.cache = Some(Cache {
+            xhat,
+            inv_std,
+            input_shape: input.shape().to_vec(),
+        });
+        y.reshape(input.shape().to_vec()).expect("ln unflatten")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let cache = self.cache.as_ref().expect("layernorm backward before forward");
+        let shape = cache.input_shape.clone();
+        let (b, t, c) = btc(&shape);
+        let dy = grad_out.reshape(vec![b * t, c]).expect("ln grad flatten");
+        let cf = c as f32;
+
+        let mut dx = Tensor::zeros(vec![b * t, c]);
+        for (ri, ((dyrow, xrow), dxrow)) in dy
+            .as_slice()
+            .chunks(c)
+            .zip(cache.xhat.as_slice().chunks(c))
+            .zip(dx.as_mut_slice().chunks_mut(c))
+            .enumerate()
+        {
+            // Per-row reductions of dŷ = dy ⊙ γ.
+            let mut sum_dxh = 0.0f32;
+            let mut sum_dxh_xhat = 0.0f32;
+            for j in 0..c {
+                let dxh = dyrow[j] * self.gamma.value.as_slice()[j];
+                sum_dxh += dxh;
+                sum_dxh_xhat += dxh * xrow[j];
+            }
+            for j in 0..c {
+                let dxh = dyrow[j] * self.gamma.value.as_slice()[j];
+                dxrow[j] =
+                    cache.inv_std[ri] / cf * (cf * dxh - sum_dxh - xrow[j] * sum_dxh_xhat);
+            }
+            // Parameter gradients accumulate across rows.
+            for j in 0..c {
+                self.gamma.grad.as_mut_slice()[j] += dyrow[j] * xrow[j];
+                self.beta.grad.as_mut_slice()[j] += dyrow[j];
+            }
+        }
+        dx.reshape(shape).expect("ln grad unflatten")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "layernorm"
+    }
+
+    fn param_layer_count(&self) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+
+    #[test]
+    fn normalises_each_example_independently() {
+        let mut ln = LayerNorm::new(3);
+        let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 100., 200., 300.]).unwrap();
+        let y = ln.forward(&x, Mode::Train);
+        for row in y.as_slice().chunks(3) {
+            let mean: f32 = row.iter().sum::<f32>() / 3.0;
+            assert!(mean.abs() < 1e-4);
+        }
+        // The two rows normalise to the same pattern despite the scale gap.
+        for j in 0..3 {
+            assert!((y.as_slice()[j] - y.as_slice()[3 + j]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn train_and_eval_agree() {
+        let mut ln = LayerNorm::new(4);
+        let x = Tensor::from_vec(vec![2, 4], (0..8).map(|v| v as f32).collect()).unwrap();
+        let a = ln.forward(&x, Mode::Train);
+        let b = ln.forward(&x, Mode::Eval);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gradcheck_layernorm_rank2() {
+        check_layer(LayerNorm::new(5), &[4, 5], 91, 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_layernorm_rank3() {
+        check_layer(LayerNorm::new(3), &[2, 3, 3], 93, 3e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_width_panics() {
+        LayerNorm::new(3).forward(&Tensor::ones(vec![2, 4]), Mode::Train);
+    }
+}

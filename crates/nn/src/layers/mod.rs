@@ -1,0 +1,46 @@
+//! Concrete layer implementations.
+
+pub mod activation;
+pub mod batchnorm;
+pub mod conv1d;
+pub mod dense;
+pub mod dropout;
+pub mod gru;
+pub mod layernorm;
+pub mod lstm;
+pub mod pool;
+pub mod reshape;
+pub mod rnn;
+pub mod residual;
+pub mod sequential;
+
+/// Splits a `[batch, time, channels]` (or `[batch, channels]`) shape into
+/// `(batch, time, channels)` treating rank-2 input as `time == 1`.
+///
+/// # Panics
+///
+/// Panics for ranks other than 2 or 3.
+pub(crate) fn btc(shape: &[usize]) -> (usize, usize, usize) {
+    match shape {
+        [b, c] => (*b, 1, *c),
+        [b, t, c] => (*b, *t, *c),
+        other => panic!("expected rank-2 or rank-3 input, got shape {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btc_accepts_rank2_and_rank3() {
+        assert_eq!(btc(&[4, 7]), (4, 1, 7));
+        assert_eq!(btc(&[4, 3, 7]), (4, 3, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2 or rank-3")]
+    fn btc_rejects_rank1() {
+        btc(&[4]);
+    }
+}

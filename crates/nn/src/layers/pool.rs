@@ -1,0 +1,270 @@
+//! Pooling layers: max pooling over time and global average pooling.
+
+use super::btc;
+use crate::{Layer, Mode};
+use pelican_tensor::Tensor;
+
+/// Non-overlapping max pooling over the time axis of `[batch, time,
+/// channels]` input.
+///
+/// "This layer selects most active neurons based on the maximum
+/// probabilities in nearby features to facilitate the next stage learning"
+/// (Section IV, item 3). With the paper's sequence length of 1 the pool size
+/// is 1 and the layer is an identity; the general implementation supports
+/// any pool size dividing into the sequence (a ragged tail is truncated,
+/// matching Keras' `MaxPooling1D` default).
+///
+/// ```
+/// use pelican_nn::{Layer, MaxPool1d, Mode};
+/// use pelican_tensor::Tensor;
+///
+/// let mut pool = MaxPool1d::new(2);
+/// let x = Tensor::from_vec(vec![1, 4, 1], vec![1., 5., 2., 3.])?;
+/// assert_eq!(pool.forward(&x, Mode::Eval).as_slice(), &[5., 3.]);
+/// # Ok::<(), pelican_tensor::ShapeError>(())
+/// ```
+#[derive(Debug)]
+pub struct MaxPool1d {
+    pool: usize,
+    /// Flat input index of each selected maximum, per output element.
+    argmax: Option<Vec<usize>>,
+    input_shape: Option<Vec<usize>>,
+}
+
+impl MaxPool1d {
+    /// Creates a pool of the given size (also the stride).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool == 0`.
+    pub fn new(pool: usize) -> Self {
+        assert!(pool > 0, "pool size must be positive");
+        Self {
+            pool,
+            argmax: None,
+            input_shape: None,
+        }
+    }
+
+    /// The pool size.
+    pub fn pool(&self) -> usize {
+        self.pool
+    }
+}
+
+impl Layer for MaxPool1d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (b, t, c) = btc(input.shape());
+        assert!(
+            t >= self.pool,
+            "sequence length {t} shorter than pool size {}",
+            self.pool
+        );
+        let t_out = t / self.pool;
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; b * t_out * c];
+        let mut argmax = vec![0usize; b * t_out * c];
+        for bi in 0..b {
+            for to in 0..t_out {
+                for ci in 0..c {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = 0;
+                    for p in 0..self.pool {
+                        let ti = to * self.pool + p;
+                        let idx = (bi * t + ti) * c + ci;
+                        if x[idx] > best {
+                            best = x[idx];
+                            best_idx = idx;
+                        }
+                    }
+                    let o = (bi * t_out + to) * c + ci;
+                    out[o] = best;
+                    argmax[o] = best_idx;
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_shape = Some(input.shape().to_vec());
+        Tensor::from_vec(vec![b, t_out, c], out).expect("pool out shape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("maxpool backward before forward");
+        let shape = self.input_shape.clone().expect("input shape cached");
+        let mut dx = Tensor::zeros(shape);
+        for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {
+            dx.as_mut_slice()[idx] += g;
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "maxpool1d"
+    }
+
+    fn param_layer_count(&self) -> usize {
+        0
+    }
+}
+
+/// Global average pooling: `[batch, time, channels] → [batch, channels]`.
+///
+/// Replaces the flatten+dense bottleneck at the top of the paper's networks
+/// ("one global average pooling layer + one dense layer", Section V-C).
+///
+/// ```
+/// use pelican_nn::{GlobalAvgPool1d, Layer, Mode};
+/// use pelican_tensor::Tensor;
+///
+/// let mut gap = GlobalAvgPool1d::new();
+/// let x = Tensor::from_vec(vec![1, 2, 2], vec![1., 2., 3., 4.])?;
+/// assert_eq!(gap.forward(&x, Mode::Eval).as_slice(), &[2., 3.]);
+/// # Ok::<(), pelican_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct GlobalAvgPool1d {
+    input_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool1d {
+    /// Creates the layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for GlobalAvgPool1d {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (b, t, c) = btc(input.shape());
+        let x = input.as_slice();
+        let mut out = vec![0.0f32; b * c];
+        for bi in 0..b {
+            for ti in 0..t {
+                let row = &x[(bi * t + ti) * c..(bi * t + ti + 1) * c];
+                let dst = &mut out[bi * c..(bi + 1) * c];
+                for (d, &s) in dst.iter_mut().zip(row) {
+                    *d += s;
+                }
+            }
+        }
+        let scale = 1.0 / t as f32;
+        out.iter_mut().for_each(|v| *v *= scale);
+        self.input_shape = Some(vec![b, t, c]);
+        Tensor::from_vec(vec![b, c], out).expect("gap shape")
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let shape = self
+            .input_shape
+            .clone()
+            .expect("gap backward before forward");
+        let (b, t, c) = (shape[0], shape[1], shape[2]);
+        let scale = 1.0 / t as f32;
+        let mut dx = Tensor::zeros(vec![b, t, c]);
+        for bi in 0..b {
+            let src = &grad_out.as_slice()[bi * c..(bi + 1) * c];
+            for ti in 0..t {
+                let dst = &mut dx.as_mut_slice()[(bi * t + ti) * c..(bi * t + ti + 1) * c];
+                for (d, &s) in dst.iter_mut().zip(src) {
+                    *d = s * scale;
+                }
+            }
+        }
+        dx
+    }
+
+    fn name(&self) -> &'static str {
+        "global_avg_pool1d"
+    }
+
+    fn param_layer_count(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+
+    #[test]
+    fn maxpool_selects_maxima_per_channel() {
+        let mut pool = MaxPool1d::new(2);
+        // b=1, t=4, c=2
+        let x = Tensor::from_vec(vec![1, 4, 2], vec![1., 8., 5., 2., 3., 9., 7., 4.]).unwrap();
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 2, 2]);
+        assert_eq!(y.as_slice(), &[5., 8., 7., 9.]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut pool = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1, 4, 1], vec![1., 5., 2., 3.]).unwrap();
+        pool.forward(&x, Mode::Train);
+        let dx = pool.backward(&Tensor::from_vec(vec![1, 2, 1], vec![10., 20.]).unwrap());
+        assert_eq!(dx.as_slice(), &[0., 10., 0., 20.]);
+    }
+
+    #[test]
+    fn pool_size_one_is_identity() {
+        let mut pool = MaxPool1d::new(1);
+        let x = Tensor::from_vec(vec![2, 1, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        assert_eq!(pool.forward(&x, Mode::Eval).as_slice(), x.as_slice());
+        let dx = pool.backward(&x);
+        assert_eq!(dx.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn ragged_tail_is_truncated() {
+        let mut pool = MaxPool1d::new(2);
+        let x = Tensor::from_vec(vec![1, 5, 1], vec![1., 2., 3., 4., 9.]).unwrap();
+        let y = pool.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[1, 2, 1]);
+        assert_eq!(y.as_slice(), &[2., 4.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than pool")]
+    fn pool_larger_than_seq_panics() {
+        let mut pool = MaxPool1d::new(4);
+        pool.forward(&Tensor::ones(vec![1, 2, 1]), Mode::Eval);
+    }
+
+    #[test]
+    fn gradcheck_maxpool() {
+        check_layer(MaxPool1d::new(2), &[2, 6, 3], 51, 2e-2);
+    }
+
+    #[test]
+    fn gap_averages_over_time() {
+        let mut gap = GlobalAvgPool1d::new();
+        let x = Tensor::from_vec(vec![2, 2, 1], vec![2., 4., 10., 20.]).unwrap();
+        let y = gap.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), &[2, 1]);
+        assert_eq!(y.as_slice(), &[3., 15.]);
+    }
+
+    #[test]
+    fn gap_backward_distributes_evenly() {
+        let mut gap = GlobalAvgPool1d::new();
+        gap.forward(&Tensor::ones(vec![1, 4, 2]), Mode::Train);
+        let dx = gap.backward(&Tensor::from_vec(vec![1, 2], vec![4., 8.]).unwrap());
+        assert_eq!(dx.shape(), &[1, 4, 2]);
+        for chunk in dx.as_slice().chunks(2) {
+            assert_eq!(chunk, &[1., 2.]);
+        }
+    }
+
+    #[test]
+    fn gradcheck_gap() {
+        check_layer(GlobalAvgPool1d::new(), &[3, 4, 2], 53, 1e-2);
+    }
+
+    #[test]
+    fn gap_handles_rank2() {
+        let mut gap = GlobalAvgPool1d::new();
+        let y = gap.forward(&Tensor::ones(vec![2, 3]), Mode::Eval);
+        assert_eq!(y.shape(), &[2, 3]);
+    }
+}

@@ -1,0 +1,167 @@
+//! Residual (shortcut) connections — the paper's core mechanism.
+
+use crate::{Layer, Mode, Param, Sequential};
+use pelican_tensor::Tensor;
+
+/// A residual unit `y = F(pre(x)) + pre(x)`.
+///
+/// Implements the shortcut wiring of the paper's Fig. 4(b): the ResBlk takes
+/// its shortcut **from the output of the leading batch-normalisation layer**
+/// ("the short cut is connected from the BN output to facilitate the
+/// initialization of overall deep network"), not from the raw block input.
+/// `pre` holds that leading layer; `body` holds the rest of the block. When
+/// `pre` is `None` the shortcut comes straight from the input — the classic
+/// ResNet identity shortcut.
+///
+/// The shortcut requires `body` to preserve shape, which is why the paper
+/// sets filter count and recurrent units equal to the input feature width
+/// (Section V-C).
+///
+/// ```
+/// use pelican_nn::{Layer, Mode, Residual, Sequential};
+/// use pelican_tensor::Tensor;
+///
+/// // An empty body makes y = x + x = 2x.
+/// let mut r = Residual::new(None, Sequential::new());
+/// let x = Tensor::ones(vec![2, 3]);
+/// assert_eq!(r.forward(&x, Mode::Eval).as_slice(), &[2.0; 6]);
+/// ```
+pub struct Residual {
+    pre: Option<Box<dyn Layer>>,
+    body: Sequential,
+}
+
+impl Residual {
+    /// Creates a residual unit with an optional pre-layer feeding the
+    /// shortcut, and a body whose output is added to the shortcut.
+    pub fn new(pre: Option<Box<dyn Layer>>, body: Sequential) -> Self {
+        Self { pre, body }
+    }
+
+    /// The inner body stack.
+    pub fn body(&self) -> &Sequential {
+        &self.body
+    }
+}
+
+impl std::fmt::Debug for Residual {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Residual")
+            .field("pre", &self.pre.as_ref().map(|p| p.name()))
+            .field("body", &self.body)
+            .finish()
+    }
+}
+
+impl Layer for Residual {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let shortcut = match &mut self.pre {
+            Some(pre) => pre.forward(input, mode),
+            None => input.clone(),
+        };
+        let mut y = self.body.forward(&shortcut, mode);
+        assert_eq!(
+            y.shape(),
+            shortcut.shape(),
+            "residual body must preserve shape for the shortcut add"
+        );
+        y.add_assign(&shortcut).expect("shortcut add");
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        // d/d(shortcut) = body-backward(grad) + grad (the identity branch).
+        let mut d_shortcut = self.body.backward(grad_out);
+        d_shortcut.add_assign(grad_out).expect("shortcut grad add");
+        match &mut self.pre {
+            Some(pre) => pre.backward(&d_shortcut),
+            None => d_shortcut,
+        }
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut params = Vec::new();
+        if let Some(pre) = &mut self.pre {
+            params.extend(pre.params_mut());
+        }
+        params.extend(self.body.params_mut());
+        params
+    }
+
+    fn name(&self) -> &'static str {
+        "residual"
+    }
+
+    fn param_layer_count(&self) -> usize {
+        self.pre.as_ref().map_or(0, |p| p.param_layer_count()) + self.body.param_layer_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer;
+    use crate::{Activation, ActivationKind, Dense};
+    use pelican_tensor::SeededRng;
+
+    #[test]
+    fn identity_shortcut_doubles_with_empty_body() {
+        let mut r = Residual::new(None, Sequential::new());
+        let x = Tensor::from_vec(vec![1, 3], vec![1., 2., 3.]).unwrap();
+        let y = r.forward(&x, Mode::Train);
+        assert_eq!(y.as_slice(), &[2., 4., 6.]);
+        let dx = r.backward(&Tensor::ones(vec![1, 3]));
+        assert_eq!(dx.as_slice(), &[2., 2., 2.]);
+    }
+
+    #[test]
+    fn gradient_flows_through_both_branches() {
+        let mut rng = SeededRng::new(4);
+        let mut body = Sequential::new();
+        body.push(Dense::new(3, 3, &mut rng));
+        let mut r = Residual::new(None, body);
+        r.forward(&Tensor::ones(vec![2, 3]), Mode::Train);
+        let dx = r.backward(&Tensor::ones(vec![2, 3]));
+        // Even with zero weights the identity branch guarantees gradient ≥ 1.
+        assert!(dx.as_slice().iter().all(|&v| v.abs() > 0.0));
+    }
+
+    #[test]
+    fn gradcheck_residual_with_body() {
+        let mut rng = SeededRng::new(5);
+        let mut body = Sequential::new();
+        body.push(Dense::new(4, 4, &mut rng));
+        body.push(Activation::new(ActivationKind::Tanh));
+        check_layer(Residual::new(None, body), &[3, 4], 21, 2e-2);
+    }
+
+    #[test]
+    fn gradcheck_residual_with_pre_layer() {
+        let mut rng = SeededRng::new(6);
+        let mut body = Sequential::new();
+        body.push(Dense::new(4, 4, &mut rng));
+        let pre: Box<dyn Layer> = Box::new(Dense::new(4, 4, &mut rng));
+        check_layer(Residual::new(Some(pre), body), &[3, 4], 23, 2e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must preserve shape")]
+    fn shape_changing_body_panics() {
+        let mut rng = SeededRng::new(7);
+        let mut body = Sequential::new();
+        body.push(Dense::new(4, 5, &mut rng));
+        let mut r = Residual::new(None, body);
+        r.forward(&Tensor::ones(vec![2, 4]), Mode::Train);
+    }
+
+    #[test]
+    fn counts_pre_and_body_param_layers() {
+        let mut rng = SeededRng::new(8);
+        let mut body = Sequential::new();
+        body.push(Dense::new(4, 4, &mut rng));
+        body.push(Dense::new(4, 4, &mut rng));
+        let pre: Box<dyn Layer> = Box::new(Dense::new(4, 4, &mut rng));
+        let r = Residual::new(Some(pre), body);
+        assert_eq!(r.param_layer_count(), 3);
+    }
+}

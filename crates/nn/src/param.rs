@@ -1,0 +1,89 @@
+//! Trainable parameters: value, gradient and optimizer state in one place.
+
+use pelican_tensor::Tensor;
+
+/// A trainable tensor together with its accumulated gradient and any
+/// per-parameter optimizer state (e.g. the RMSprop moving average).
+///
+/// Layers own their `Param`s and expose them through
+/// [`Layer::params_mut`](crate::Layer::params_mut); optimizers mutate them
+/// in place, lazily allocating however many state slots they need.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Gradient accumulated by the latest backward pass.
+    pub grad: Tensor,
+    /// Optimizer-owned state slots (slot count depends on the optimizer:
+    /// one for RMSprop/momentum-SGD, two for Adam/AdaDelta).
+    pub state: Vec<Tensor>,
+}
+
+impl Param {
+    /// Wraps an initial value with a zeroed gradient and no optimizer state.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().to_vec());
+        Self {
+            value,
+            grad,
+            state: Vec::new(),
+        }
+    }
+
+    /// Resets the gradient to zero, keeping the allocation.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill_zero();
+    }
+
+    /// Ensures `n` state slots exist, each zero-initialised to the value's
+    /// shape. Called by optimizers on their first step.
+    pub fn ensure_state(&mut self, n: usize) {
+        while self.state.len() < n {
+            self.state.push(Tensor::zeros(self.value.shape().to_vec()));
+        }
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_of_same_shape() {
+        let p = Param::new(Tensor::ones(vec![2, 3]));
+        assert_eq!(p.grad.shape(), &[2, 3]);
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+        assert_eq!(p.len(), 6);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(vec![4]));
+        p.grad = Tensor::full(vec![4], 3.0);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ensure_state_is_idempotent() {
+        let mut p = Param::new(Tensor::ones(vec![4]));
+        p.ensure_state(2);
+        assert_eq!(p.state.len(), 2);
+        p.state[0].as_mut_slice()[0] = 5.0;
+        p.ensure_state(2);
+        assert_eq!(p.state[0].as_slice()[0], 5.0);
+        p.ensure_state(1);
+        assert_eq!(p.state.len(), 2);
+    }
+}

@@ -1,0 +1,541 @@
+//! Minibatch training loop with per-epoch history.
+
+use crate::loss::Loss;
+use crate::optim::Optimizer;
+use crate::{Layer, Mode};
+use pelican_tensor::{SeededRng, Tensor};
+
+/// Per-epoch measurements, mirroring what the paper plots in Fig. 5.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct EpochStats {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Mean training loss over the epoch's minibatches.
+    pub train_loss: f32,
+    /// Training accuracy measured on the same minibatch outputs.
+    pub train_acc: f32,
+    /// Loss on the held-out set (if one was supplied).
+    pub test_loss: Option<f32>,
+    /// Accuracy on the held-out set (if one was supplied).
+    pub test_acc: Option<f32>,
+}
+
+/// The full training history of one run.
+#[derive(Debug, Clone, Default, serde::Serialize)]
+pub struct History {
+    /// One entry per epoch, in order.
+    pub epochs: Vec<EpochStats>,
+}
+
+impl History {
+    /// Final epoch's training loss.
+    pub fn final_train_loss(&self) -> Option<f32> {
+        self.epochs.last().map(|e| e.train_loss)
+    }
+
+    /// Final epoch's test loss.
+    pub fn final_test_loss(&self) -> Option<f32> {
+        self.epochs.last().and_then(|e| e.test_loss)
+    }
+
+    /// Final epoch's test accuracy.
+    pub fn final_test_acc(&self) -> Option<f32> {
+        self.epochs.last().and_then(|e| e.test_acc)
+    }
+}
+
+/// Knobs for [`Trainer`]; defaults follow the paper's Table I where a value
+/// is dataset-independent.
+#[derive(Debug, Clone)]
+pub struct TrainerConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size (the paper uses 4000).
+    pub batch_size: usize,
+    /// Seed for the per-epoch shuffle.
+    pub shuffle_seed: u64,
+    /// Print one line per epoch to stderr.
+    pub verbose: bool,
+    /// Stop early when the held-out loss has not improved for this many
+    /// consecutive epochs (requires an eval set; `None` disables).
+    pub early_stop_patience: Option<usize>,
+    /// Multiply the learning rate by this factor after every epoch
+    /// (`None` keeps it constant, as the paper does).
+    pub lr_decay: Option<f32>,
+    /// Clip the global gradient norm to this value before each optimizer
+    /// step — the standard guard against the exploding-gradient half of
+    /// the problem the paper describes in Section III.
+    pub grad_clip: Option<f32>,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 10,
+            batch_size: 128,
+            shuffle_seed: 0,
+            verbose: false,
+            early_stop_patience: None,
+            lr_decay: None,
+            grad_clip: None,
+        }
+    }
+}
+
+/// Drives minibatch gradient descent over a model.
+///
+/// ```
+/// use pelican_nn::{Dense, Sequential, Trainer, TrainerConfig};
+/// use pelican_nn::loss::SoftmaxCrossEntropy;
+/// use pelican_nn::optim::Sgd;
+/// use pelican_tensor::{SeededRng, Tensor};
+///
+/// let mut rng = SeededRng::new(0);
+/// let mut net = Sequential::new();
+/// net.push(Dense::new(2, 2, &mut rng));
+/// let x = Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.])?;
+/// let y = [0usize, 0, 1, 1];
+/// let trainer = Trainer::new(TrainerConfig { epochs: 5, ..Default::default() });
+/// let history = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+/// assert_eq!(history.epochs.len(), 5);
+/// # Ok::<(), pelican_tensor::ShapeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainerConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given configuration.
+    pub fn new(config: TrainerConfig) -> Self {
+        Self { config }
+    }
+
+    /// The trainer's configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Trains `model` on `(x, y)`, optionally evaluating `(x_test, y_test)`
+    /// after every epoch, and returns the history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is not rank 2 or `y.len()` differs from the number of
+    /// rows.
+    pub fn fit(
+        &self,
+        model: &mut dyn Layer,
+        loss: &dyn Loss,
+        optimizer: &mut dyn Optimizer,
+        x: &Tensor,
+        y: &[usize],
+        eval: Option<(&Tensor, &[usize])>,
+    ) -> History {
+        assert_eq!(x.rank(), 2, "training input must be [rows, features]");
+        let n = x.shape()[0];
+        assert_eq!(y.len(), n, "label count must equal row count");
+        assert!(n > 0, "training set must be non-empty");
+
+        let mut rng = SeededRng::new(self.config.shuffle_seed);
+        let mut history = History::default();
+        let bs = self.config.batch_size.max(1);
+        let mut best_eval_loss = f32::INFINITY;
+        let mut epochs_without_improvement = 0usize;
+
+        for epoch in 1..=self.config.epochs {
+            let mut order: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut order);
+
+            let mut loss_sum = 0.0f64;
+            let mut correct = 0usize;
+            for batch in order.chunks(bs) {
+                let xb = x.gather_rows(batch);
+                let yb: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+
+                model.zero_grad();
+                let out = model.forward(&xb, Mode::Train);
+                let (l, dout) = loss.loss(&out, &yb);
+                model.backward(&dout);
+                if let Some(max_norm) = self.config.grad_clip {
+                    clip_global_norm(&mut model.params_mut(), max_norm);
+                }
+                optimizer.step(&mut model.params_mut());
+
+                loss_sum += l as f64 * batch.len() as f64;
+                let preds = out.argmax_rows().expect("output rank");
+                correct += preds.iter().zip(&yb).filter(|(p, t)| p == t).count();
+            }
+            let train_loss = (loss_sum / n as f64) as f32;
+            let train_acc = correct as f32 / n as f32;
+
+            let (test_loss, test_acc) = match eval {
+                Some((xt, yt)) => {
+                    let (l, a) = evaluate(model, loss, xt, yt, bs);
+                    (Some(l), Some(a))
+                }
+                None => (None, None),
+            };
+
+            if self.config.verbose {
+                eprintln!(
+                    "epoch {epoch:>3}: train_loss {train_loss:.4} train_acc {train_acc:.4}{}",
+                    match (test_loss, test_acc) {
+                        (Some(l), Some(a)) => format!(" test_loss {l:.4} test_acc {a:.4}"),
+                        _ => String::new(),
+                    }
+                );
+            }
+
+            history.epochs.push(EpochStats {
+                epoch,
+                train_loss,
+                train_acc,
+                test_loss,
+                test_acc,
+            });
+
+            if let Some(decay) = self.config.lr_decay {
+                optimizer.set_learning_rate(optimizer.learning_rate() * decay);
+            }
+            if let (Some(patience), Some(eval_loss)) =
+                (self.config.early_stop_patience, test_loss)
+            {
+                if eval_loss < best_eval_loss - 1e-6 {
+                    best_eval_loss = eval_loss;
+                    epochs_without_improvement = 0;
+                } else {
+                    epochs_without_improvement += 1;
+                    if epochs_without_improvement >= patience {
+                        if self.config.verbose {
+                            eprintln!("early stop at epoch {epoch} (patience {patience})");
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+        history
+    }
+}
+
+/// Scales every gradient so the global (all-parameter) L2 norm is at most
+/// `max_norm`. No-op when the norm is already within bounds.
+///
+/// # Panics
+///
+/// Panics if `max_norm` is not positive.
+pub fn clip_global_norm(params: &mut [&mut crate::Param], max_norm: f32) {
+    assert!(max_norm > 0.0, "clip norm must be positive");
+    let total_sq: f32 = params.iter().map(|p| p.grad.norm_sq()).sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for p in params.iter_mut() {
+            p.grad.scale(scale);
+        }
+    }
+}
+
+/// Evaluates mean loss and accuracy of `model` on `(x, y)` in inference
+/// mode, batching to bound memory.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 2 or `y.len()` differs from the row count.
+pub fn evaluate(
+    model: &mut dyn Layer,
+    loss: &dyn Loss,
+    x: &Tensor,
+    y: &[usize],
+    batch_size: usize,
+) -> (f32, f32) {
+    assert_eq!(x.rank(), 2, "eval input must be [rows, features]");
+    let n = x.shape()[0];
+    assert_eq!(y.len(), n, "label count must equal row count");
+    if n == 0 {
+        return (0.0, 0.0);
+    }
+    let bs = batch_size.max(1);
+    let indices: Vec<usize> = (0..n).collect();
+    let mut loss_sum = 0.0f64;
+    let mut correct = 0usize;
+    for batch in indices.chunks(bs) {
+        let xb = x.gather_rows(batch);
+        let yb: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+        let out = model.forward(&xb, Mode::Eval);
+        let (l, _) = loss.loss(&out, &yb);
+        loss_sum += l as f64 * batch.len() as f64;
+        let preds = out.argmax_rows().expect("output rank");
+        correct += preds.iter().zip(&yb).filter(|(p, t)| p == t).count();
+    }
+    ((loss_sum / n as f64) as f32, correct as f32 / n as f32)
+}
+
+/// Predicts class indices for every row of `x` in inference mode.
+///
+/// # Panics
+///
+/// Panics if `x` is not rank 2.
+pub fn predict(model: &mut dyn Layer, x: &Tensor, batch_size: usize) -> Vec<usize> {
+    assert_eq!(x.rank(), 2, "predict input must be [rows, features]");
+    let n = x.shape()[0];
+    let bs = batch_size.max(1);
+    let indices: Vec<usize> = (0..n).collect();
+    let mut preds = Vec::with_capacity(n);
+    for batch in indices.chunks(bs) {
+        let xb = x.gather_rows(batch);
+        let out = model.forward(&xb, Mode::Eval);
+        preds.extend(out.argmax_rows().expect("output rank"));
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::SoftmaxCrossEntropy;
+    use crate::optim::{RmsProp, Sgd};
+    use crate::{Activation, ActivationKind, Dense, Sequential};
+
+    /// Two well-separated Gaussian blobs.
+    fn blobs(n_per: usize, seed: u64) -> (Tensor, Vec<usize>) {
+        let mut rng = SeededRng::new(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per * 2 {
+            let class = i % 2;
+            let centre = if class == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![
+                rng.normal_with(centre, 0.5),
+                rng.normal_with(-centre, 0.5),
+            ]);
+            labels.push(class);
+        }
+        (Tensor::from_rows(&rows).unwrap(), labels)
+    }
+
+    #[test]
+    fn linear_model_learns_blobs() {
+        let (x, y) = blobs(50, 1);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 30,
+            batch_size: 16,
+            ..Default::default()
+        });
+        let hist = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+        assert!(hist.epochs.last().unwrap().train_acc > 0.95);
+        // Loss decreases over training.
+        assert!(hist.epochs.last().unwrap().train_loss < hist.epochs[0].train_loss);
+    }
+
+    #[test]
+    fn mlp_with_rmsprop_learns_xor() {
+        // XOR needs the hidden layer: checks the full backprop chain.
+        let x = Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
+        let y = vec![0usize, 1, 1, 0];
+        let mut rng = SeededRng::new(3);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 8, &mut rng));
+        net.push(Activation::new(ActivationKind::Tanh));
+        net.push(Dense::new(8, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 300,
+            batch_size: 4,
+            ..Default::default()
+        });
+        let hist = trainer.fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut RmsProp::new(0.01),
+            &x,
+            &y,
+            None,
+        );
+        assert_eq!(hist.epochs.last().unwrap().train_acc, 1.0, "XOR not learned");
+    }
+
+    #[test]
+    fn history_records_eval_metrics() {
+        let (x, y) = blobs(20, 5);
+        let (xt, yt) = blobs(10, 6);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 3,
+            ..Default::default()
+        });
+        let hist = trainer.fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut Sgd::new(0.1),
+            &x,
+            &y,
+            Some((&xt, &yt)),
+        );
+        assert!(hist.epochs.iter().all(|e| e.test_loss.is_some()));
+        assert!(hist.final_test_acc().is_some());
+        assert!(hist.final_test_loss().is_some());
+        assert!(hist.final_train_loss().is_some());
+    }
+
+    #[test]
+    fn predict_matches_evaluate_accuracy() {
+        let (x, y) = blobs(30, 9);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 20,
+            ..Default::default()
+        });
+        trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+        let preds = predict(&mut net, &x, 7);
+        let acc_pred = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f32 / y.len() as f32;
+        let (_, acc_eval) = evaluate(&mut net, &SoftmaxCrossEntropy, &x, &y, 13);
+        assert!((acc_pred - acc_eval).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_eval_set_is_zeroes() {
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let (l, a) = evaluate(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &Tensor::zeros(vec![0, 2]),
+            &[],
+            8,
+        );
+        assert_eq!((l, a), (0.0, 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn mismatched_labels_panic() {
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig::default());
+        trainer.fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut Sgd::new(0.1),
+            &Tensor::zeros(vec![4, 2]),
+            &[0, 1],
+            None,
+        );
+    }
+
+    #[test]
+    fn early_stopping_halts_on_plateau() {
+        // Zero learning rate → eval loss never improves → stop after
+        // exactly 1 (first epoch) + patience epochs.
+        let (x, y) = blobs(20, 13);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 50,
+            early_stop_patience: Some(3),
+            ..Default::default()
+        });
+        let hist = trainer.fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut Sgd::new(0.0),
+            &x,
+            &y,
+            Some((&x, &y)),
+        );
+        assert_eq!(hist.epochs.len(), 4, "1 best epoch + 3 patience");
+    }
+
+    #[test]
+    fn early_stopping_ignored_without_eval_set() {
+        let (x, y) = blobs(10, 14);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 5,
+            early_stop_patience: Some(1),
+            ..Default::default()
+        });
+        let hist = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.0), &x, &y, None);
+        assert_eq!(hist.epochs.len(), 5);
+    }
+
+    #[test]
+    fn lr_decay_shrinks_learning_rate() {
+        let (x, y) = blobs(10, 15);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 3,
+            lr_decay: Some(0.5),
+            ..Default::default()
+        });
+        let mut opt = Sgd::new(0.8);
+        trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut opt, &x, &y, None);
+        use crate::optim::Optimizer;
+        assert!((opt.learning_rate() - 0.1).abs() < 1e-6, "0.8 * 0.5^3 = 0.1");
+    }
+
+    #[test]
+    fn clip_global_norm_bounds_gradients() {
+        use crate::Param;
+        let mut p1 = Param::new(Tensor::zeros(vec![2]));
+        p1.grad = Tensor::from_vec(vec![2], vec![3.0, 0.0]).unwrap();
+        let mut p2 = Param::new(Tensor::zeros(vec![2]));
+        p2.grad = Tensor::from_vec(vec![2], vec![0.0, 4.0]).unwrap();
+        // Global norm = 5; clip to 1 → scaled by 1/5.
+        clip_global_norm(&mut [&mut p1, &mut p2], 1.0);
+        assert!((p1.grad.as_slice()[0] - 0.6).abs() < 1e-6);
+        assert!((p2.grad.as_slice()[1] - 0.8).abs() < 1e-6);
+        // Already within bounds: unchanged.
+        clip_global_norm(&mut [&mut p1, &mut p2], 10.0);
+        assert!((p1.grad.as_slice()[0] - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn training_with_clipping_still_learns() {
+        let (x, y) = blobs(30, 21);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 30,
+            grad_clip: Some(0.5),
+            ..Default::default()
+        });
+        let hist = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+        assert!(hist.epochs.last().unwrap().train_acc > 0.9);
+    }
+
+    #[test]
+    fn deterministic_given_same_seeds() {
+        let (x, y) = blobs(20, 11);
+        let run = || {
+            let mut rng = SeededRng::new(42);
+            let mut net = Sequential::new();
+            net.push(Dense::new(2, 2, &mut rng));
+            let trainer = Trainer::new(TrainerConfig {
+                epochs: 5,
+                shuffle_seed: 7,
+                ..Default::default()
+            });
+            trainer
+                .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.2), &x, &y, None)
+                .final_train_loss()
+                .unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+}

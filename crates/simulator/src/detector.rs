@@ -1,0 +1,173 @@
+//! The detector interface and reference detectors.
+
+use crate::traffic::Flow;
+use pelican_tensor::SeededRng;
+
+/// A network intrusion detector inspecting flows one window at a time.
+///
+/// The signature is deliberately minimal — a real model wraps its
+/// preprocessing (one-hot + standardise) and its network behind this
+/// trait; the simulator neither knows nor cares. Returns one predicted
+/// class per flow (0 = normal, anything else raises an alert).
+pub trait Detector {
+    /// Classifies every flow in the window.
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize>;
+
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A ground-truth oracle degraded by configurable miss and false-alarm
+/// probabilities — the reference detector for calibrating the workload
+/// model and for tests.
+///
+/// With `detection_rate = 1 - miss` and `far` both configurable, the
+/// simulator's workload curves can be swept without training anything.
+#[derive(Debug)]
+pub struct OracleDetector {
+    detection_rate: f64,
+    false_alarm_rate: f64,
+    rng: SeededRng,
+}
+
+impl OracleDetector {
+    /// Creates an oracle achieving the given DR and FAR in expectation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both rates are within `[0, 1]`.
+    pub fn new(detection_rate: f64, false_alarm_rate: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&detection_rate), "DR must be a rate");
+        assert!(
+            (0.0..=1.0).contains(&false_alarm_rate),
+            "FAR must be a rate"
+        );
+        Self {
+            detection_rate,
+            false_alarm_rate,
+            rng: SeededRng::new(seed),
+        }
+    }
+}
+
+impl Detector for OracleDetector {
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+        window
+            .iter()
+            .map(|flow| {
+                if flow.true_class != 0 {
+                    if f64::from(self.rng.uniform()) < self.detection_rate {
+                        flow.true_class
+                    } else {
+                        0
+                    }
+                } else if f64::from(self.rng.uniform()) < self.false_alarm_rate {
+                    1 // flag as a generic attack
+                } else {
+                    0
+                }
+            })
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+}
+
+/// A detector that alerts uniformly at random — the floor any learned
+/// model must beat, and a stress source for the analyst queue.
+#[derive(Debug)]
+pub struct ThresholdNoiseDetector {
+    alert_probability: f64,
+    rng: SeededRng,
+}
+
+impl ThresholdNoiseDetector {
+    /// Alerts on any flow with the given probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the probability is within `[0, 1]`.
+    pub fn new(alert_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&alert_probability),
+            "probability must be a rate"
+        );
+        Self {
+            alert_probability,
+            rng: SeededRng::new(seed),
+        }
+    }
+}
+
+impl Detector for ThresholdNoiseDetector {
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+        window
+            .iter()
+            .map(|_| usize::from(f64::from(self.rng.uniform()) < self.alert_probability))
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "noise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::TrafficStream;
+
+    fn window() -> Vec<Flow> {
+        TrafficStream::nslkdd(0.5, 1).next_window(200)
+    }
+
+    #[test]
+    fn perfect_oracle_is_exact() {
+        let w = window();
+        let mut oracle = OracleDetector::new(1.0, 0.0, 0);
+        let preds = oracle.classify(&w);
+        for (p, f) in preds.iter().zip(&w) {
+            assert_eq!(*p != 0, f.true_class != 0);
+        }
+    }
+
+    #[test]
+    fn oracle_rates_are_approximately_respected() {
+        let w = window();
+        let mut oracle = OracleDetector::new(0.8, 0.2, 1);
+        let preds = oracle.classify(&w);
+        let (mut tp, mut attacks, mut fp, mut normals) = (0, 0, 0, 0);
+        for (p, f) in preds.iter().zip(&w) {
+            if f.true_class != 0 {
+                attacks += 1;
+                tp += usize::from(*p != 0);
+            } else {
+                normals += 1;
+                fp += usize::from(*p != 0);
+            }
+        }
+        if attacks > 20 {
+            let dr = tp as f64 / attacks as f64;
+            assert!((dr - 0.8).abs() < 0.2, "DR {dr}");
+        }
+        let far = fp as f64 / normals as f64;
+        assert!((far - 0.2).abs() < 0.12, "FAR {far}");
+    }
+
+    #[test]
+    fn noise_detector_ignores_ground_truth() {
+        let w = window();
+        let mut silent = ThresholdNoiseDetector::new(0.0, 2);
+        assert!(silent.classify(&w).iter().all(|&p| p == 0));
+        let mut screaming = ThresholdNoiseDetector::new(1.0, 2);
+        assert!(screaming.classify(&w).iter().all(|&p| p == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a rate")]
+    fn bad_rate_rejected() {
+        OracleDetector::new(1.5, 0.0, 0);
+    }
+}

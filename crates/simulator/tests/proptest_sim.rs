@@ -1,0 +1,87 @@
+//! Property-based tests for the deployment simulator.
+
+use pelican_simulator::{
+    Alert, Analyst, OracleDetector, SimConfig, Simulation, TrafficConfig, TrafficStream,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The analyst queue conserves alerts: received = triaged + backlog.
+    #[test]
+    fn alert_conservation(n_alerts in 0usize..50, analysts in 1usize..4, horizon in 0.0f64..500.0) {
+        let mut team = Analyst::new(analysts, 10.0);
+        for i in 0..n_alerts {
+            team.receive(Alert {
+                time: i as f64,
+                suspected_class: 1,
+                is_true_positive: i % 2 == 0,
+                campaign: None,
+            });
+        }
+        team.work_until(horizon);
+        prop_assert_eq!(team.outcomes().len() + team.backlog(), n_alerts);
+        // Outcomes complete in non-decreasing start order per analyst and
+        // never before their alert arrived.
+        for o in team.outcomes() {
+            prop_assert!(o.queue_delay >= 0.0);
+            prop_assert!(o.completed_at >= 10.0);
+        }
+    }
+
+    /// More analysts never increase the backlog for the same alert load.
+    #[test]
+    fn more_analysts_never_hurt(n_alerts in 1usize..40, horizon in 10.0f64..200.0) {
+        let run = |count: usize| {
+            let mut team = Analyst::new(count, 15.0);
+            for i in 0..n_alerts {
+                team.receive(Alert {
+                    time: (i as f64) * 0.5,
+                    suspected_class: 1,
+                    is_true_positive: true,
+                    campaign: None,
+                });
+            }
+            team.work_until(horizon);
+            team.backlog()
+        };
+        prop_assert!(run(3) <= run(1));
+    }
+
+    /// Simulation reports stay internally consistent for arbitrary
+    /// detector operating points.
+    #[test]
+    fn report_invariants(dr in 0.0f64..1.0, far in 0.0f64..1.0, seed in 0u64..100) {
+        let stream = TrafficStream::from_dataset(
+            pelican_data::nslkdd::generate(300, seed),
+            TrafficConfig::default(),
+            seed,
+        );
+        let report = Simulation::new(SimConfig { windows: 4, flows_per_window: 25 })
+            .run(stream, OracleDetector::new(dr, far, seed), Analyst::new(2, 20.0));
+        prop_assert!((0.0..=1.0).contains(&report.detection_rate));
+        prop_assert!((0.0..=1.0).contains(&report.false_alarm_rate));
+        prop_assert!(report.campaigns_detected <= report.campaigns_total);
+        prop_assert_eq!(report.alerts, report.triage.triaged + report.triage.backlog);
+        prop_assert!(report.triage.wasted_fraction() >= 0.0);
+        prop_assert!(report.triage.wasted_fraction() <= 1.0);
+        if report.alerts == 0 {
+            prop_assert_eq!(report.campaigns_detected, 0);
+        }
+    }
+
+    /// Traffic windows always deliver at least the background count and
+    /// flows carry valid classes.
+    #[test]
+    fn window_shape(background in 1usize..40, rate in 0.0f64..1.0, seed in 0u64..100) {
+        let mut stream = TrafficStream::nslkdd(rate, seed);
+        let window = stream.next_window(background);
+        prop_assert!(window.len() >= background);
+        let classes = stream.source().schema().class_count();
+        for flow in &window {
+            prop_assert!(flow.true_class < classes);
+            prop_assert!(flow.time.is_finite() && flow.time >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when tensor shapes are incompatible with an operation.
+///
+/// Carries the operation name and the offending shapes so the failure can be
+/// diagnosed without a debugger.
+///
+/// ```
+/// use pelican_tensor::Tensor;
+///
+/// let a = Tensor::zeros(vec![2, 3]);
+/// let b = Tensor::zeros(vec![4, 5]);
+/// let err = a.matmul(&b).unwrap_err();
+/// assert!(err.to_string().contains("matmul"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeError {
+    op: &'static str,
+    lhs: Vec<usize>,
+    rhs: Vec<usize>,
+}
+
+impl ShapeError {
+    /// Creates a shape error for `op` with the two shapes involved.
+    ///
+    /// For unary operations `rhs` is the *requested* shape (e.g. the target
+    /// of a reshape).
+    pub fn new(op: &'static str, lhs: &[usize], rhs: &[usize]) -> Self {
+        Self {
+            op,
+            lhs: lhs.to_vec(),
+            rhs: rhs.to_vec(),
+        }
+    }
+
+    /// The name of the operation that failed.
+    pub fn op(&self) -> &'static str {
+        self.op
+    }
+
+    /// Shape of the left-hand (or only) operand.
+    pub fn lhs(&self) -> &[usize] {
+        &self.lhs
+    }
+
+    /// Shape of the right-hand operand, or the requested shape for unary ops.
+    pub fn rhs(&self) -> &[usize] {
+        &self.rhs
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "incompatible shapes for {}: {:?} vs {:?}",
+            self.op, self.lhs, self.rhs
+        )
+    }
+}
+
+impl Error for ShapeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_op_and_shapes() {
+        let e = ShapeError::new("add", &[2, 3], &[3, 2]);
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+        assert!(s.contains("[3, 2]"));
+    }
+
+    #[test]
+    fn accessors_round_trip() {
+        let e = ShapeError::new("matmul", &[1], &[2, 2]);
+        assert_eq!(e.op(), "matmul");
+        assert_eq!(e.lhs(), &[1]);
+        assert_eq!(e.rhs(), &[2, 2]);
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShapeError>();
+    }
+}

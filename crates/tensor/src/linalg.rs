@@ -1,0 +1,269 @@
+//! Matrix products, including the transposed variants backpropagation needs.
+//!
+//! All three kernels (`A·B`, `Aᵀ·B`, `A·Bᵀ`) reduce to a dot-product inner
+//! loop over contiguous slices, which the compiler auto-vectorises. Products
+//! above [`crate::PARALLEL_FLOP_THRESHOLD`] multiply-accumulates are split
+//! across scoped worker threads.
+
+use crate::{ShapeError, Tensor, PARALLEL_FLOP_THRESHOLD};
+
+/// Number of worker threads used for large products.
+fn worker_count() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().min(8))
+        .unwrap_or(1)
+}
+
+/// Dot product of two equal-length slices.
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // Manual 4-lane unroll: reliable auto-vectorisation across rustc versions.
+    let chunks = a.len() / 4;
+    let mut acc = [0.0f32; 4];
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// Computes rows `rows` of `out = A (m×k) · Bᵀ_rowmajor (n×k)` where `bt` is
+/// B already laid out transposed (each row of `bt` is a column of B).
+fn gemm_rows(a: &[f32], bt: &[f32], out: &mut [f32], k: usize, n: usize, row0: usize) {
+    let rows = out.len() / n;
+    for r in 0..rows {
+        let ar = &a[(row0 + r) * k..(row0 + r + 1) * k];
+        let or = &mut out[r * n..(r + 1) * n];
+        for (j, o) in or.iter_mut().enumerate() {
+            *o = dot(ar, &bt[j * k..(j + 1) * k]);
+        }
+    }
+}
+
+/// Shared driver: multiply `a` (m×k, row-major) by `bt` (n×k, row-major,
+/// i.e. B transposed) into an m×n tensor, parallelising when large.
+fn gemm(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize) -> Tensor {
+    let mut out = vec![0.0f32; m * n];
+    let flops = m * k * n;
+    let workers = worker_count();
+    if flops < PARALLEL_FLOP_THRESHOLD || workers < 2 || m < 2 {
+        gemm_rows(a, bt, &mut out, k, n, 0);
+    } else {
+        let chunk_rows = m.div_ceil(workers);
+        crossbeam::thread::scope(|s| {
+            for (idx, chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
+                let row0 = idx * chunk_rows;
+                s.spawn(move |_| gemm_rows(a, bt, chunk, k, n, row0));
+            }
+        })
+        .expect("matmul worker panicked");
+    }
+    Tensor::from_vec(vec![m, n], out).expect("gemm output shape")
+}
+
+impl Tensor {
+    /// Matrix product `self (m×k) · rhs (k×n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless both tensors are rank 2 with matching
+    /// inner dimension.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.rank() != 2 || rhs.rank() != 2 || self.shape()[1] != rhs.shape()[0] {
+            return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let n = rhs.shape()[1];
+        let bt = rhs.transpose();
+        Ok(gemm(self.as_slice(), bt.as_slice(), m, k, n))
+    }
+
+    /// Matrix product `self (m×k) · rhsᵀ` where `rhs` is `n×k`.
+    ///
+    /// Equivalent to `self.matmul(&rhs.transpose())` but without the copy;
+    /// this is the kernel used for `dX = dY · Wᵀ` in dense backprop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless both tensors are rank 2 with matching
+    /// second dimension.
+    pub fn matmul_bt(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.rank() != 2 || rhs.rank() != 2 || self.shape()[1] != rhs.shape()[1] {
+            return Err(ShapeError::new("matmul_bt", self.shape(), rhs.shape()));
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let n = rhs.shape()[0];
+        Ok(gemm(self.as_slice(), rhs.as_slice(), m, k, n))
+    }
+
+    /// Matrix product `selfᵀ · rhs` where `self` is `k×m` and `rhs` is `k×n`.
+    ///
+    /// This is the kernel used for `dW = Xᵀ · dY` in dense backprop.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless both tensors are rank 2 with matching
+    /// first dimension.
+    pub fn matmul_at(&self, rhs: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.rank() != 2 || rhs.rank() != 2 || self.shape()[0] != rhs.shape()[0] {
+            return Err(ShapeError::new("matmul_at", self.shape(), rhs.shape()));
+        }
+        // Aᵀ·B: accumulate outer products row by row; contiguous access on
+        // both operands, no transposed copies.
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let n = rhs.shape()[1];
+        let mut out = vec![0.0f32; m * n];
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        for t in 0..k {
+            let ar = &a[t * m..(t + 1) * m];
+            let br = &b[t * n..(t + 1) * n];
+            for (i, &av) in ar.iter().enumerate() {
+                if av != 0.0 {
+                    let or = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in or.iter_mut().zip(br) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![m, n], out)
+    }
+
+    /// Matrix–vector product `self (m×k) · v (k)`, returning a length-`m`
+    /// rank-1 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `self` is rank 2 and `v` is rank 1 with
+    /// matching length.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor, ShapeError> {
+        if self.rank() != 2 || v.rank() != 1 || self.shape()[1] != v.shape()[0] {
+            return Err(ShapeError::new("matvec", self.shape(), v.shape()));
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let out: Vec<f32> = (0..m)
+            .map(|i| dot(&self.as_slice()[i * k..(i + 1) * k], v.as_slice()))
+            .collect();
+        Tensor::from_vec(vec![m], out)
+    }
+
+    /// Adds a length-`n` bias vector to every row of an `m×n` tensor, in
+    /// place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] unless `self` is rank 2 and `bias` is rank 1
+    /// of matching width.
+    pub fn add_row_bias(&mut self, bias: &Tensor) -> Result<(), ShapeError> {
+        if self.rank() != 2 || bias.rank() != 1 || self.shape()[1] != bias.shape()[0] {
+            return Err(ShapeError::new("add_row_bias", self.shape(), bias.shape()));
+        }
+        let n = self.shape()[1];
+        for row in self.as_mut_slice().chunks_mut(n) {
+            for (v, &b) in row.iter_mut().zip(bias.as_slice()) {
+                *v += b;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(shape: Vec<usize>, data: Vec<f32>) -> Tensor {
+        Tensor::from_vec(shape, data).unwrap()
+    }
+
+    #[test]
+    fn matmul_small_known_values() {
+        let a = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(vec![3, 3], (0..9).map(|v| v as f32).collect());
+        let c = a.matmul(&Tensor::eye(3)).unwrap();
+        assert_eq!(c, a);
+        let c2 = Tensor::eye(3).matmul(&a).unwrap();
+        assert_eq!(c2, a);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(vec![2, 3]);
+        assert!(a.matmul(&Tensor::zeros(vec![4, 2])).is_err());
+        assert!(a.matmul(&Tensor::zeros(vec![3])).is_err());
+    }
+
+    #[test]
+    fn matmul_bt_equals_explicit_transpose() {
+        let a = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(vec![4, 3], (0..12).map(|v| v as f32 * 0.5).collect());
+        let direct = a.matmul_bt(&b).unwrap();
+        let via_t = a.matmul(&b.transpose()).unwrap();
+        assert_eq!(direct, via_t);
+    }
+
+    #[test]
+    fn matmul_at_equals_explicit_transpose() {
+        let a = t(vec![3, 2], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(vec![3, 4], (0..12).map(|v| v as f32 * 0.25).collect());
+        let direct = a.matmul_at(&b).unwrap();
+        let via_t = a.transpose().matmul(&b).unwrap();
+        for (x, y) in direct.as_slice().iter().zip(via_t.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn large_matmul_parallel_matches_serial_structure() {
+        // Big enough to cross PARALLEL_FLOP_THRESHOLD: (200×200)·(200×200).
+        let n = 200;
+        let a = Tensor::full(vec![n, n], 1.0);
+        let b = Tensor::full(vec![n, n], 2.0);
+        let c = a.matmul(&b).unwrap();
+        // Every entry is sum over k of 1*2 = 2n.
+        assert!(c.as_slice().iter().all(|&v| (v - 2.0 * n as f32).abs() < 1e-3));
+    }
+
+    #[test]
+    fn matvec_known_values() {
+        let a = t(vec![2, 3], vec![1., 0., 0., 0., 2., 0.]);
+        let v = t(vec![3], vec![5., 7., 9.]);
+        let r = a.matvec(&v).unwrap();
+        assert_eq!(r.as_slice(), &[5., 14.]);
+        assert!(a.matvec(&Tensor::zeros(vec![2])).is_err());
+    }
+
+    #[test]
+    fn add_row_bias_broadcasts() {
+        let mut a = Tensor::zeros(vec![2, 3]);
+        let b = t(vec![3], vec![1., 2., 3.]);
+        a.add_row_bias(&b).unwrap();
+        assert_eq!(a.as_slice(), &[1., 2., 3., 1., 2., 3.]);
+        assert!(a.add_row_bias(&Tensor::zeros(vec![2])).is_err());
+    }
+
+    #[test]
+    fn dot_handles_non_multiple_of_four() {
+        let a: Vec<f32> = (0..7).map(|v| v as f32).collect();
+        let b: Vec<f32> = (0..7).map(|v| (v + 1) as f32).collect();
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(super::dot(&a, &b), expect);
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: train a small Pelican on synthetic NSL-KDD and print the
+//! paper's three metrics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pelican::prelude::*;
+
+fn main() {
+    // A laptop-friendly configuration: 1,200 records, a 2-block residual
+    // network, a handful of epochs. `ExpConfig::scaled` (used by the full
+    // benchmark suite) runs the real 5/10-block networks.
+    let cfg = ExpConfig {
+        dataset: DatasetKind::NslKdd,
+        samples: 1200,
+        epochs: 4,
+        batch_size: 128,
+        learning_rate: 0.01,
+        kernel: 10,
+        dropout: 0.6,
+        test_fraction: 0.1,
+        seed: 42,
+    };
+
+    println!("dataset      : {}", cfg.dataset);
+    println!("records      : {}", cfg.samples);
+    println!("input width  : {}", cfg.dataset.encoded_width());
+    println!("classes      : {}", cfg.dataset.classes());
+
+    let arch = Arch::Residual { blocks: 2 };
+    println!(
+        "architecture : {} ({} parameter layers)\n",
+        arch.paper_name(),
+        arch.param_layers()
+    );
+
+    let result = run_network(arch, &cfg);
+
+    for e in &result.history.epochs {
+        println!(
+            "epoch {:>2}: train_loss {:.4}  train_acc {:.4}  test_loss {:.4}  test_acc {:.4}",
+            e.epoch,
+            e.train_loss,
+            e.train_acc,
+            e.test_loss.unwrap_or(f32::NAN),
+            e.test_acc.unwrap_or(f32::NAN)
+        );
+    }
+
+    let c = &result.confusion;
+    println!("\nheld-out fold ({} records):", c.total());
+    println!("  TP {} | TN {} | FP {} | FN {}", c.tp, c.tn, c.fp, c.fn_);
+    println!("  DR  {:.2}%  (paper Residual-41 on NSL-KDD: 99.13%)", 100.0 * c.detection_rate());
+    println!("  ACC {:.2}%  (paper: 99.21%)", 100.0 * c.accuracy());
+    println!("  FAR {:.2}%  (paper: 0.65%)", 100.0 * c.false_alarm_rate());
+}

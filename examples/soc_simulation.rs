@@ -1,0 +1,141 @@
+//! The full Fig.-1 deployment with a *real* trained detector: a Pelican
+//! network monitors a simulated traffic stream, raises alerts into a
+//! finite security team, and the report quantifies what its false-alarm
+//! rate costs in triage workload — the paper's core motivation.
+//!
+//! ```sh
+//! cargo run --release --example soc_simulation
+//! ```
+
+use pelican::core::models::{build_network, NetConfig};
+use pelican::nn::loss::SoftmaxCrossEntropy;
+use pelican::nn::optim::RmsProp;
+use pelican::nn::{predict, Sequential, Trainer, TrainerConfig};
+use pelican::prelude::*;
+use pelican_simulator::{
+    Analyst, Detector, Flow, SimConfig, Simulation, ThresholdNoiseDetector, TrafficConfig,
+    TrafficStream,
+};
+
+/// A trained network plus its preprocessing, wired into the simulator.
+struct NidsDetector {
+    net: Sequential,
+    encoder: OneHotEncoder,
+    scaler: Standardizer,
+    schema: pelican::data::Schema,
+}
+
+impl Detector for NidsDetector {
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+        if window.is_empty() {
+            return Vec::new();
+        }
+        // Re-wrap the flows as a RawDataset so the offline preprocessing
+        // applies verbatim.
+        let records: Vec<_> = window.iter().map(|f| f.record.clone()).collect();
+        let labels = vec![0usize; records.len()]; // ignored
+        let raw = pelican::data::RawDataset::new(self.schema.clone(), records, labels);
+        let x = self.scaler.transform(&self.encoder.encode(&raw));
+        predict(&mut self.net, &x, 256)
+    }
+
+    fn name(&self) -> &'static str {
+        "pelican"
+    }
+}
+
+fn main() {
+    // ---- Offline: train the NIDS on historical labelled traffic. ------
+    let history = pelican::data::nslkdd::generate(1500, 21);
+    let encoder = OneHotEncoder::from_schema(history.schema());
+    let x_raw = encoder.encode(&history);
+    let scaler = Standardizer::fit(&x_raw);
+    let x = scaler.transform(&x_raw);
+    let y = history.labels().to_vec();
+
+    let mut net = build_network(&NetConfig {
+        in_features: x.shape()[1],
+        classes: history.schema().class_count(),
+        blocks: 2,
+        residual: true,
+        kernel: 10,
+        dropout: 0.6,
+        seed: 5,
+    });
+    println!("training the NIDS on {} historical flows …", history.len());
+    Trainer::new(TrainerConfig {
+        epochs: 5,
+        batch_size: 128,
+        ..Default::default()
+    })
+    .fit(
+        &mut net,
+        &SoftmaxCrossEntropy,
+        &mut RmsProp::new(0.01),
+        &x,
+        &y,
+        None,
+    );
+
+    let detector = NidsDetector {
+        net,
+        encoder,
+        scaler,
+        schema: history.schema().clone(),
+    };
+
+    // ---- Online: simulate the monitored link + security team. ---------
+    let make_stream = || {
+        TrafficStream::from_dataset(
+            pelican::data::nslkdd::generate(3000, 77),
+            TrafficConfig {
+                mean_interarrival: 30.0,
+                campaign_rate: 0.3,
+                ..Default::default()
+            },
+            77,
+        )
+    };
+    let sim = Simulation::new(SimConfig {
+        windows: 30,
+        flows_per_window: 50,
+    });
+
+    println!("\nreplaying the monitored link through the trained Pelican …");
+    let report = sim.run(make_stream(), detector, Analyst::new(2, 180.0));
+    print_report(&report);
+
+    // The contrast the paper draws: a noisy detector with the same team.
+    println!("\n…and the same link through a noisy legacy detector (20% alert rate):");
+    let noisy = ThresholdNoiseDetector::new(0.2, 3);
+    let report = sim.run(make_stream(), noisy, Analyst::new(2, 180.0));
+    print_report(&report);
+
+    println!(
+        "\nThe paper's argument in numbers: the low-FAR detector leaves the\n\
+         team's effort for real attacks; the noisy one drowns them in triage."
+    );
+}
+
+fn print_report(r: &pelican_simulator::SimReport) {
+    println!(
+        "  [{}] {} flows, {} alerts | flow DR {:.1}% FAR {:.2}% | campaigns {}/{} detected{}",
+        r.detector,
+        r.flows,
+        r.alerts,
+        100.0 * r.detection_rate,
+        100.0 * r.false_alarm_rate,
+        r.campaigns_detected,
+        r.campaigns_total,
+        r.mean_time_to_detection
+            .map_or(String::new(), |t| format!(" (mean TTD {t:.1}s)"))
+    );
+    println!(
+        "  team: {} triaged, {} backlog | wasted {:.0}s ({:.1}% of effort) | mean queue delay {:.0}s",
+        r.triage.triaged,
+        r.triage.backlog,
+        r.triage.wasted_seconds,
+        100.0 * r.triage.wasted_fraction(),
+        r.triage.mean_queue_delay
+    );
+}

@@ -1,0 +1,72 @@
+//! **Pelican** — a deep residual network for network intrusion detection.
+//!
+//! Reproduction of Wu & Guo, *"Pelican: A Deep Residual Network for
+//! Network Intrusion Detection"*, DSN 2020 (arXiv:2001.08523). This facade
+//! crate re-exports the whole workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`tensor`] | `pelican-tensor` | dense f32 tensors, matmul, seeded RNG |
+//! | [`nn`] | `pelican-nn` | layers, losses, optimizers, training loop |
+//! | [`data`] | `pelican-data` | synthetic NSL-KDD / UNSW-NB15, preprocessing, k-fold |
+//! | [`ml`] | `pelican-ml` | SVM, random forest, AdaBoost, decision trees |
+//! | [`core`] | `pelican-core` | residual blocks, model zoo, metrics, experiments |
+//! | [`simulator`] | `pelican-simulator` | Fig.-1 deployment: traffic, alerts, triage workload |
+//!
+//! # Quick start
+//!
+//! Train a small Pelican on synthetic NSL-KDD and measure the paper's
+//! metrics:
+//!
+//! ```
+//! use pelican::core::experiment::{run_network, Arch, DatasetKind, ExpConfig};
+//!
+//! let cfg = ExpConfig {
+//!     dataset: DatasetKind::NslKdd,
+//!     samples: 200,
+//!     epochs: 1,
+//!     batch_size: 64,
+//!     learning_rate: 0.01,
+//!     kernel: 10,
+//!     dropout: 0.6,
+//!     test_fraction: 0.1,
+//!     seed: 7,
+//! };
+//! let result = run_network(Arch::Residual { blocks: 1 }, &cfg);
+//! assert!(result.confusion.total() > 0);
+//! ```
+//!
+//! See `README.md` for the architecture overview, `DESIGN.md` for the
+//! system inventory and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use pelican_core as core;
+pub use pelican_data as data;
+pub use pelican_ml as ml;
+pub use pelican_nn as nn;
+pub use pelican_simulator as simulator;
+pub use pelican_tensor as tensor;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use pelican_core::experiment::{
+        cached_run, prepare_split, run_kfold, run_network, Arch, DatasetKind, ExpConfig,
+        KFoldResult, RunResult,
+    };
+    pub use pelican_core::models::{build_network, NetConfig, NeuralClassifier};
+    pub use pelican_core::{plain_block, res_blk, BlockConfig, Confusion, ConfusionMatrix};
+    pub use pelican_data::{KFold, OneHotEncoder, RawDataset, Standardizer};
+    pub use pelican_ml::Classifier;
+    pub use pelican_nn::{Layer, Mode, Sequential, Trainer, TrainerConfig};
+    pub use pelican_tensor::{SeededRng, Tensor};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_are_wired() {
+        assert_eq!(crate::data::nslkdd::ENCODED_WIDTH, 121);
+        assert_eq!(crate::data::unswnb15::ENCODED_WIDTH, 196);
+        let t = crate::tensor::Tensor::zeros(vec![2, 2]);
+        assert_eq!(t.len(), 4);
+    }
+}

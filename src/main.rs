@@ -1,0 +1,245 @@
+//! `pelican` — command-line interface to the Pelican NIDS reproduction.
+//!
+//! ```text
+//! pelican info                         dataset and architecture summary
+//! pelican train [options]             train a network, optionally save weights
+//! pelican evaluate --load FILE ...    restore weights and evaluate on fresh traffic
+//!
+//! options:
+//!   --dataset nslkdd|unsw   (default nslkdd)
+//!   --blocks N              (default 10)
+//!   --plain                 plain blocks instead of residual
+//!   --samples N --epochs N --batch N --seed N
+//!   --save FILE / --load FILE
+//! ```
+
+use pelican::core::experiment::{Arch, DatasetKind, ExpConfig};
+use pelican::core::metrics::{Confusion, ConfusionMatrix};
+use pelican::core::models::{build_network, NetConfig};
+use pelican::nn::io::{load_params, save_params};
+use pelican::nn::loss::SoftmaxCrossEntropy;
+use pelican::nn::optim::RmsProp;
+use pelican::nn::{predict, Trainer, TrainerConfig};
+use pelican::prelude::*;
+use std::process::ExitCode;
+
+struct CliArgs {
+    dataset: DatasetKind,
+    blocks: usize,
+    residual: bool,
+    samples: usize,
+    epochs: usize,
+    batch: usize,
+    seed: u64,
+    save: Option<String>,
+    load: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<CliArgs, String> {
+    let mut out = CliArgs {
+        dataset: DatasetKind::NslKdd,
+        blocks: 10,
+        residual: true,
+        samples: 2000,
+        epochs: 6,
+        batch: 250,
+        seed: 42,
+        save: None,
+        load: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| format!("missing value after {}", args[*i - 1]))
+        };
+        match args[i].as_str() {
+            "--dataset" => {
+                out.dataset = match take(&mut i)?.as_str() {
+                    "nslkdd" | "nsl-kdd" => DatasetKind::NslKdd,
+                    "unsw" | "unsw-nb15" => DatasetKind::UnswNb15,
+                    other => return Err(format!("unknown dataset '{other}'")),
+                }
+            }
+            "--blocks" => out.blocks = take(&mut i)?.parse().map_err(|e| format!("--blocks: {e}"))?,
+            "--plain" => out.residual = false,
+            "--samples" => {
+                out.samples = take(&mut i)?.parse().map_err(|e| format!("--samples: {e}"))?
+            }
+            "--epochs" => out.epochs = take(&mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--batch" => out.batch = take(&mut i)?.parse().map_err(|e| format!("--batch: {e}"))?,
+            "--seed" => out.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--save" => out.save = Some(take(&mut i)?),
+            "--load" => out.load = Some(take(&mut i)?),
+            other => return Err(format!("unknown option '{other}'")),
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+fn class_names(dataset: DatasetKind) -> Vec<&'static str> {
+    match dataset {
+        DatasetKind::NslKdd => pelican::data::nslkdd::CLASSES.to_vec(),
+        DatasetKind::UnswNb15 => pelican::data::unswnb15::CLASSES.to_vec(),
+    }
+}
+
+fn cmd_info() {
+    println!("Pelican — deep residual network for network intrusion detection (DSN 2020)\n");
+    for d in [DatasetKind::NslKdd, DatasetKind::UnswNb15] {
+        println!(
+            "{:<10} encoded width {:>3}, {} classes: {}",
+            d.name(),
+            d.encoded_width(),
+            d.classes(),
+            class_names(d).join(", ")
+        );
+    }
+    println!("\narchitectures (paper Section V-C):");
+    for arch in Arch::paper_lineup() {
+        println!(
+            "  {:<22} {} blocks, {} parameter layers",
+            arch.paper_name(),
+            arch.blocks(),
+            arch.param_layers()
+        );
+    }
+    println!("\npaper training settings:\n  {:?}", ExpConfig::paper(DatasetKind::UnswNb15));
+}
+
+fn print_metrics(preds: &[usize], labels: &[usize], dataset: DatasetKind) {
+    let c = Confusion::from_predictions(preds, labels, 0);
+    let m = ConfusionMatrix::from_predictions(preds, labels, dataset.classes());
+    println!(
+        "\nDR {:.2}%  ACC {:.2}%  FAR {:.2}%   (TP {} TN {} FP {} FN {})\n",
+        100.0 * c.detection_rate(),
+        100.0 * c.accuracy(),
+        100.0 * c.false_alarm_rate(),
+        c.tp,
+        c.tn,
+        c.fp,
+        c.fn_
+    );
+    print!("{}", m.report(&class_names(dataset)));
+}
+
+fn cmd_train(cli: &CliArgs) -> Result<(), String> {
+    let cfg = ExpConfig {
+        dataset: cli.dataset,
+        samples: cli.samples,
+        epochs: cli.epochs,
+        batch_size: cli.batch,
+        learning_rate: 0.01,
+        kernel: 10,
+        dropout: 0.6,
+        test_fraction: 0.1,
+        seed: cli.seed,
+    };
+    let arch = if cli.residual {
+        Arch::Residual { blocks: cli.blocks }
+    } else {
+        Arch::Plain { blocks: cli.blocks }
+    };
+    println!(
+        "training {} on {} ({} records, {} epochs) …",
+        arch.paper_name(),
+        cfg.dataset,
+        cfg.samples,
+        cfg.epochs
+    );
+
+    let split = pelican::core::experiment::prepare_split(&cfg);
+    let mut net = build_network(&NetConfig {
+        in_features: cfg.dataset.encoded_width(),
+        classes: cfg.dataset.classes(),
+        blocks: cli.blocks,
+        residual: cli.residual,
+        kernel: cfg.kernel,
+        dropout: cfg.dropout,
+        seed: cfg.seed,
+    });
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        shuffle_seed: cfg.seed,
+        verbose: true,
+        ..Default::default()
+    });
+    trainer.fit(
+        &mut net,
+        &SoftmaxCrossEntropy,
+        &mut RmsProp::new(cfg.learning_rate),
+        &split.x_train,
+        &split.y_train,
+        Some((&split.x_test, &split.y_test)),
+    );
+    let preds = predict(&mut net, &split.x_test, cfg.batch_size);
+    print_metrics(&preds, &split.y_test, cfg.dataset);
+
+    if let Some(path) = &cli.save {
+        save_params(&mut net, path).map_err(|e| e.to_string())?;
+        println!("\nweights saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(cli: &CliArgs) -> Result<(), String> {
+    let path = cli
+        .load
+        .as_ref()
+        .ok_or("evaluate requires --load FILE".to_string())?;
+    let mut net = build_network(&NetConfig {
+        in_features: cli.dataset.encoded_width(),
+        classes: cli.dataset.classes(),
+        blocks: cli.blocks,
+        residual: cli.residual,
+        kernel: 10,
+        dropout: 0.6,
+        seed: cli.seed,
+    });
+    load_params(&mut net, path).map_err(|e| e.to_string())?;
+    println!("loaded weights from {path}");
+
+    // Fresh traffic from the same population, plus the training-time
+    // preprocessing statistics recomputed on a reference sample.
+    let reference = cli.dataset.generate(cli.samples, cli.seed);
+    let encoder = OneHotEncoder::from_schema(reference.schema());
+    let scaler = Standardizer::fit(&encoder.encode(&reference));
+
+    let live = cli.dataset.generate(cli.samples / 4 + 1, cli.seed ^ 0xBEEF);
+    let x = scaler.transform(&encoder.encode(&live));
+    let preds = predict(&mut net, &x, cli.batch);
+    println!("evaluated {} fresh records", live.len());
+    print_metrics(&preds, live.labels(), cli.dataset);
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r.to_vec()),
+        None => {
+            eprintln!("usage: pelican <info|train|evaluate> [options] (see --help in README)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match cmd {
+        "info" => {
+            cmd_info();
+            Ok(())
+        }
+        "train" => parse(&rest).and_then(|cli| cmd_train(&cli)),
+        "evaluate" => parse(&rest).and_then(|cli| cmd_evaluate(&cli)),
+        other => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
