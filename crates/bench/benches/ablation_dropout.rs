@@ -36,14 +36,16 @@ fn main() {
             verbose: false,
             ..Default::default()
         });
-        let hist = trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut RmsProp::new(cfg.learning_rate),
-            &split.x_train,
-            &split.y_train,
-            Some((&split.x_test, &split.y_test)),
-        );
+        let hist = trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut RmsProp::new(cfg.learning_rate),
+                &split.x_train,
+                &split.y_train,
+                Some((&split.x_test, &split.y_test)),
+            )
+            .expect("training failed");
         let last = hist.epochs.last().expect("epochs");
         let gap = last.test_loss.unwrap_or(f32::NAN) - last.train_loss;
         rows.push(vec![

@@ -44,14 +44,16 @@ fn main() {
             verbose: false,
             ..Default::default()
         });
-        let hist = trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut *opt,
-            &split.x_train,
-            &split.y_train,
-            Some((&split.x_test, &split.y_test)),
-        );
+        let hist = trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut *opt,
+                &split.x_train,
+                &split.y_train,
+                Some((&split.x_test, &split.y_test)),
+            )
+            .expect("training failed");
         rows.push(vec![
             name.to_string(),
             format!("{:.4}", hist.final_train_loss().unwrap_or(f32::NAN)),

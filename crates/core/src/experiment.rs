@@ -281,14 +281,16 @@ pub fn run_network(arch: Arch, cfg: &ExpConfig) -> RunResult {
         ..Default::default()
     });
     let mut opt = RmsProp::new(cfg.learning_rate);
-    let history = trainer.fit(
-        &mut net,
-        &SoftmaxCrossEntropy,
-        &mut opt,
-        &split.x_train,
-        &split.y_train,
-        Some((&split.x_test, &split.y_test)),
-    );
+    let history = trainer
+        .fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut opt,
+            &split.x_train,
+            &split.y_train,
+            Some((&split.x_test, &split.y_test)),
+        )
+        .unwrap_or_else(|e| panic!("training {} failed: {e}", arch.paper_name()));
     let preds = predict(&mut net, &split.x_test, cfg.batch_size);
     let normal = 0; // class 0 is Normal in both schemas
     let confusion = Confusion::from_predictions(&preds, &split.y_test, normal);
@@ -348,14 +350,18 @@ pub fn run_kfold(arch: Arch, cfg: &ExpConfig, k: usize) -> KFoldResult {
             ..Default::default()
         });
         let mut opt = RmsProp::new(cfg.learning_rate);
-        let history = trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut opt,
-            &split.x_train,
-            &split.y_train,
-            Some((&split.x_test, &split.y_test)),
-        );
+        let history = trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut opt,
+                &split.x_train,
+                &split.y_train,
+                Some((&split.x_test, &split.y_test)),
+            )
+            .unwrap_or_else(|e| {
+                panic!("training {} fold {fold_id} failed: {e}", arch.paper_name())
+            });
         let preds = predict(&mut net, &split.x_test, cfg.batch_size);
         let confusion = Confusion::from_predictions(&preds, &split.y_test, 0);
         let matrix =
@@ -401,12 +407,13 @@ fn serialize_result(r: &RunResult) -> String {
     out.push_str(&format!("multiclass_acc {}\n", r.multiclass_acc));
     for e in &r.history.epochs {
         out.push_str(&format!(
-            "epoch {} {} {} {} {}\n",
+            "epoch {} {} {} {} {} {}\n",
             e.epoch,
             e.train_loss,
             e.train_acc,
             e.test_loss.unwrap_or(f32::NAN),
             e.test_acc.unwrap_or(f32::NAN),
+            e.recoveries,
         ));
     }
     out
@@ -434,13 +441,18 @@ fn deserialize_result(text: &str) -> Option<RunResult> {
                 let train_acc: f32 = parts.next()?.parse().ok()?;
                 let tl: f32 = parts.next()?.parse().ok()?;
                 let ta: f32 = parts.next()?.parse().ok()?;
+                // Caches written before the recovery counters existed lack
+                // the sixth field; treat those epochs as fault-free.
+                let recoveries: usize = parts.next().and_then(|v| v.parse().ok()).unwrap_or(0);
                 history.epochs.push(pelican_nn::EpochStats {
                     epoch,
                     train_loss,
                     train_acc,
                     test_loss: if tl.is_nan() { None } else { Some(tl) },
                     test_acc: if ta.is_nan() { None } else { Some(ta) },
+                    recoveries,
                 });
+                history.total_recoveries += recoveries;
             }
             _ => return None,
         }
@@ -536,7 +548,10 @@ mod tests {
                     train_acc: 0.8,
                     test_loss: Some(0.6),
                     test_acc: Some(0.75),
+                    recoveries: 2,
                 }],
+                total_recoveries: 2,
+                resumed_from_epoch: None,
             },
             confusion: Confusion {
                 tp: 10,

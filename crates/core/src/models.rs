@@ -214,7 +214,9 @@ impl Classifier for NeuralClassifier {
         });
         let mut opt = RmsProp::new(self.learning_rate);
         let net = self.net.get_mut();
-        trainer.fit(net, &SoftmaxCrossEntropy, &mut opt, x, y, None);
+        trainer
+            .fit(net, &SoftmaxCrossEntropy, &mut opt, x, y, None)
+            .unwrap_or_else(|e| panic!("{} training failed: {e}", self.name));
     }
 
     fn predict(&self, x: &Tensor) -> Vec<usize> {

@@ -38,6 +38,11 @@ impl ParseCsvError {
     pub fn line(&self) -> usize {
         self.line
     }
+
+    /// Human-readable reason (without the line prefix).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
 }
 
 impl fmt::Display for ParseCsvError {
@@ -112,59 +117,197 @@ pub fn from_csv(
         if line.is_empty() {
             continue;
         }
-        let n = lineno + 1;
-        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
-        if fields.len() != schema.feature_count() + 1 {
-            return Err(ParseCsvError::new(
-                n,
-                format!(
-                    "expected {} fields (features + label), found {}",
-                    schema.feature_count() + 1,
-                    fields.len()
-                ),
-            ));
-        }
-        let mut record: Record = Vec::with_capacity(schema.feature_count());
-        for (field, feature) in fields.iter().zip(&schema.features) {
-            match &feature.kind {
-                FeatureKind::Numeric => {
-                    let v: f32 = field.parse().map_err(|_| {
-                        ParseCsvError::new(
-                            n,
-                            format!("feature '{}': invalid number '{field}'", feature.name),
-                        )
-                    })?;
-                    record.push(Value::Num(v));
-                }
-                FeatureKind::Categorical(vocab) => {
-                    let idx = vocab.iter().position(|v| v == field).ok_or_else(|| {
-                        ParseCsvError::new(
-                            n,
-                            format!(
-                                "feature '{}': '{field}' not in vocabulary ({} values)",
-                                feature.name,
-                                vocab.len()
-                            ),
-                        )
-                    })?;
-                    record.push(Value::Cat(idx));
-                }
-            }
-        }
-        let label_field = fields[schema.feature_count()];
-        let label = label_of(label_field).ok_or_else(|| {
-            ParseCsvError::new(n, format!("unresolvable label '{label_field}'"))
-        })?;
-        if label >= schema.class_count() {
-            return Err(ParseCsvError::new(
-                n,
-                format!("label index {label} out of range"),
-            ));
-        }
+        let (record, label) = parse_line(schema, lineno + 1, line, &mut label_of)?;
         records.push(record);
         labels.push(label);
     }
     Ok(RawDataset::new(schema.clone(), records, labels))
+}
+
+/// Parses one trimmed, non-empty record line against the schema.
+fn parse_line(
+    schema: &Schema,
+    n: usize,
+    line: &str,
+    label_of: &mut impl FnMut(&str) -> Option<usize>,
+) -> Result<(Record, usize), ParseCsvError> {
+    let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+    if fields.len() != schema.feature_count() + 1 {
+        return Err(ParseCsvError::new(
+            n,
+            format!(
+                "expected {} fields (features + label), found {}",
+                schema.feature_count() + 1,
+                fields.len()
+            ),
+        ));
+    }
+    let mut record: Record = Vec::with_capacity(schema.feature_count());
+    for (field, feature) in fields.iter().zip(&schema.features) {
+        match &feature.kind {
+            FeatureKind::Numeric => {
+                let v: f32 = field.parse().map_err(|_| {
+                    ParseCsvError::new(
+                        n,
+                        format!("feature '{}': invalid number '{field}'", feature.name),
+                    )
+                })?;
+                if !v.is_finite() {
+                    return Err(ParseCsvError::new(
+                        n,
+                        format!("feature '{}': non-finite value '{field}'", feature.name),
+                    ));
+                }
+                record.push(Value::Num(v));
+            }
+            FeatureKind::Categorical(vocab) => {
+                let idx = vocab.iter().position(|v| v == field).ok_or_else(|| {
+                    ParseCsvError::new(
+                        n,
+                        format!(
+                            "feature '{}': '{field}' not in vocabulary ({} values)",
+                            feature.name,
+                            vocab.len()
+                        ),
+                    )
+                })?;
+                record.push(Value::Cat(idx));
+            }
+        }
+    }
+    let label_field = fields[schema.feature_count()];
+    let label = label_of(label_field)
+        .ok_or_else(|| ParseCsvError::new(n, format!("unresolvable label '{label_field}'")))?;
+    if label >= schema.class_count() {
+        return Err(ParseCsvError::new(
+            n,
+            format!("label index {label} out of range"),
+        ));
+    }
+    Ok((record, label))
+}
+
+/// Most detailed quarantine entries kept verbatim in a [`QuarantineReport`];
+/// beyond this the report only counts.
+pub const QUARANTINE_SAMPLE_CAP: usize = 32;
+
+/// A record rejected by [`from_csv_lenient`]: where and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantinedRow {
+    /// 1-based line number of the rejected record.
+    pub line: usize,
+    /// Human-readable rejection reason.
+    pub reason: String,
+}
+
+/// What [`from_csv_lenient`] skipped and why.
+///
+/// The per-row detail list is capped at [`QUARANTINE_SAMPLE_CAP`] entries
+/// so a fully-garbled multi-gigabyte file cannot balloon the report; the
+/// counters always cover every line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct QuarantineReport {
+    /// Records parsed successfully.
+    pub parsed: usize,
+    /// Records rejected (all of them, even past the sample cap).
+    pub quarantined: usize,
+    /// First [`QUARANTINE_SAMPLE_CAP`] rejections with line + reason.
+    pub samples: Vec<QuarantinedRow>,
+}
+
+impl QuarantineReport {
+    /// True when at least one record was rejected.
+    pub fn any(&self) -> bool {
+        self.quarantined > 0
+    }
+
+    /// Fraction of non-empty lines rejected (0 when the file was empty).
+    pub fn rejection_rate(&self) -> f32 {
+        let total = self.parsed + self.quarantined;
+        if total == 0 {
+            0.0
+        } else {
+            self.quarantined as f32 / total as f32
+        }
+    }
+}
+
+impl fmt::Display for QuarantineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} parsed, {} quarantined ({:.2}%)",
+            self.parsed,
+            self.quarantined,
+            100.0 * self.rejection_rate()
+        )?;
+        for s in &self.samples {
+            write!(f, "\n  line {}: {}", s.line, s.reason)?;
+        }
+        if self.quarantined > self.samples.len() {
+            write!(f, "\n  … and {} more", self.quarantined - self.samples.len())?;
+        }
+        Ok(())
+    }
+}
+
+/// Parses CSV text against `schema`, quarantining malformed records
+/// instead of aborting.
+///
+/// Strict [`from_csv`] is the right default for curated corpora — a
+/// parse error there usually means the schema is wrong, and silently
+/// dropping rows would skew every downstream metric. This variant is for
+/// damaged or live-captured inputs (truncated lines, garbled fields,
+/// unknown labels): every malformed row is skipped and recorded in the
+/// returned [`QuarantineReport`] while the well-formed remainder becomes
+/// the dataset. Empty lines are still skipped silently, as in strict
+/// mode.
+pub fn from_csv_lenient(
+    schema: &Schema,
+    text: &str,
+    mut label_of: impl FnMut(&str) -> Option<usize>,
+) -> (RawDataset, QuarantineReport) {
+    let mut records: Vec<Record> = Vec::new();
+    let mut labels: Vec<usize> = Vec::new();
+    let mut report = QuarantineReport::default();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        match parse_line(schema, lineno + 1, line, &mut label_of) {
+            Ok((record, label)) => {
+                records.push(record);
+                labels.push(label);
+                report.parsed += 1;
+            }
+            Err(e) => {
+                report.quarantined += 1;
+                if report.samples.len() < QUARANTINE_SAMPLE_CAP {
+                    report.samples.push(QuarantinedRow {
+                        line: e.line(),
+                        reason: e.message().to_string(),
+                    });
+                }
+            }
+        }
+    }
+    (RawDataset::new(schema.clone(), records, labels), report)
+}
+
+/// Reads and leniently parses a dataset CSV file; see [`from_csv_lenient`].
+///
+/// # Errors
+///
+/// Only filesystem errors abort (wrapped as a line-0 [`ParseCsvError`]);
+/// malformed content is quarantined, never fatal.
+pub fn read_csv_lenient(
+    schema: &Schema,
+    path: impl AsRef<Path>,
+    label_of: impl FnMut(&str) -> Option<usize>,
+) -> Result<(RawDataset, QuarantineReport), ParseCsvError> {
+    let text = fs::read_to_string(path).map_err(|e| ParseCsvError::new(0, e.to_string()))?;
+    Ok(from_csv_lenient(schema, &text, label_of))
 }
 
 /// Reads and parses a dataset CSV file.
@@ -342,6 +485,102 @@ mod tests {
         })
         .unwrap();
         assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn lenient_quarantines_bad_rows_and_keeps_good_ones() {
+        let ds = nslkdd::generate(6, 11);
+        let mut lines: Vec<String> = to_csv(&ds).lines().map(str::to_string).collect();
+        // Break three rows three different ways: truncation, a garbled
+        // categorical, an unresolvable label.
+        lines[1] = lines[1][..lines[1].len() / 2].to_string();
+        let mut fields: Vec<&str> = lines[3].split(',').collect();
+        fields[1] = "<garbled>";
+        lines[3] = fields.join(",");
+        let mut fields: Vec<String> = lines[5].split(',').map(str::to_string).collect();
+        let last = fields.len() - 1;
+        fields[last] = "???".into();
+        lines[5] = fields.join(",");
+        let text = lines.join("\n");
+
+        let (parsed, report) = from_csv_lenient(ds.schema(), &text, |n| {
+            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+        });
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(report.parsed, 3);
+        assert_eq!(report.quarantined, 3);
+        assert!(report.any());
+        assert!((report.rejection_rate() - 0.5).abs() < 1e-6);
+        assert_eq!(report.samples.len(), 3);
+        assert_eq!(report.samples[0].line, 2);
+        assert!(report.samples[0].reason.contains("fields"), "{report}");
+        assert_eq!(report.samples[1].line, 4);
+        assert_eq!(report.samples[2].line, 6);
+        assert!(report.samples[2].reason.contains("unresolvable"), "{report}");
+        // And strict mode still aborts on the same input.
+        assert!(from_csv(ds.schema(), &text, |n| {
+            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn lenient_sample_list_is_capped_but_counters_are_not() {
+        let schema = nslkdd::schema();
+        let garbage: String = (0..100).map(|i| format!("junk-{i}\n")).collect();
+        let (parsed, report) = from_csv_lenient(&schema, &garbage, |_| Some(0));
+        assert_eq!(parsed.len(), 0);
+        assert_eq!(report.parsed, 0);
+        assert_eq!(report.quarantined, 100);
+        assert_eq!(report.samples.len(), QUARANTINE_SAMPLE_CAP);
+        assert!(report.to_string().contains("and 68 more"), "{report}");
+    }
+
+    #[test]
+    fn lenient_on_clean_input_matches_strict() {
+        let ds = nslkdd::generate(8, 2);
+        let text = to_csv(&ds);
+        let resolve = |n: &str| nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n));
+        let strict = from_csv(ds.schema(), &text, resolve).unwrap();
+        let (lenient, report) = from_csv_lenient(ds.schema(), &text, resolve);
+        assert_eq!(lenient.len(), strict.len());
+        assert_eq!(lenient.labels(), strict.labels());
+        assert_eq!(report.parsed, 8);
+        assert!(!report.any());
+        assert_eq!(report.rejection_rate(), 0.0);
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        let ds = nslkdd::generate(1, 1);
+        let text = to_csv(&ds);
+        // Replace the first numeric field (duration, column 0) with inf.
+        let mut fields: Vec<&str> = text.trim().split(',').collect();
+        fields[0] = "inf";
+        let text = fields.join(",");
+        let err = from_csv(ds.schema(), &text, |_| Some(0)).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        let (parsed, report) = from_csv_lenient(ds.schema(), &text, |_| Some(0));
+        assert_eq!(parsed.len(), 0);
+        assert_eq!(report.quarantined, 1);
+    }
+
+    #[test]
+    fn lenient_file_round_trip() {
+        let dir = std::env::temp_dir().join("pelican-csv-lenient-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("damaged.csv");
+        let ds = nslkdd::generate(5, 13);
+        let mut text = to_csv(&ds);
+        text.push_str("trailing,garbage,row\n");
+        std::fs::write(&path, &text).unwrap();
+        let (parsed, report) = read_csv_lenient(ds.schema(), &path, |n| {
+            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+        })
+        .unwrap();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(report.quarantined, 1);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

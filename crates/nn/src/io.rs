@@ -1,26 +1,49 @@
-//! Saving and loading trained parameters.
+//! Saving and loading trained parameters and training checkpoints.
 //!
 //! A trained model's state is the ordered list of its parameter tensors
 //! (the order [`Layer::params_mut`] returns — deterministic for a given
-//! architecture). The format is a small self-describing binary layout:
+//! architecture). Two self-describing binary layouts exist:
 //!
 //! ```text
-//! magic "PLCN" | version u32 | param count u32 |
-//!   per param: rank u32, dims u32…, f32 data (little endian)
+//! v1 (legacy, still loadable):
+//!   magic "PLCN" | version=1 u32 | param count u32 |
+//!     per param: rank u32, dims u32…, f32 data (little endian)
+//!
+//! v2 (current):
+//!   magic "PLCN" | version=2 u32 | epoch u32 | learning rate f32 |
+//!   param count u32 |
+//!     per param: rank u32, dims u32…, f32 value data,
+//!                state count u32,
+//!                per state slot: f32 data (value's shape) |
+//!   crc32 u32 of every preceding byte
 //! ```
 //!
-//! Loading validates that shapes match the receiving model exactly, so a
-//! checkpoint can only be restored into the architecture that produced it.
+//! v2 adds what fault-tolerant resume needs: the epoch the checkpoint was
+//! taken after, the optimizer's learning rate, the per-parameter optimizer
+//! state slots (RMSprop moving averages etc.), and an IEEE CRC-32 so a
+//! truncated or bit-flipped file is rejected before any model state is
+//! touched. Both versions load with parse-then-commit semantics: a failed
+//! load never leaves the model half-written. Non-finite values in a
+//! checkpoint are rejected at load time for both versions.
+//!
+//! [`save_checkpoint`] writes atomically (temp file + rename), so a crash
+//! mid-write leaves either the previous checkpoint or a stray `.tmp` —
+//! never a torn file under the real name. Known limitation: BatchNorm
+//! running statistics are internal layer state, not parameters, and are
+//! not serialised; they only affect evaluation-mode outputs, so training
+//! trajectories still reproduce exactly across a save/resume boundary.
 
 use crate::Layer;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use pelican_tensor::Tensor;
 use std::error::Error;
 use std::fmt;
 use std::fs;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"PLCN";
-const VERSION: u32 = 1;
+const V1: u32 = 1;
+const V2: u32 = 2;
 
 /// Error loading or saving model parameters.
 #[derive(Debug)]
@@ -58,12 +81,47 @@ impl From<std::io::Error> for IoError {
     }
 }
 
-/// Serialises a model's parameters to bytes.
-pub fn params_to_bytes(model: &mut dyn Layer) -> Bytes {
+/// Training-loop metadata carried by a v2 checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckpointMeta {
+    /// 1-based epoch the checkpoint was taken after (0 = untrained).
+    pub epoch: usize,
+    /// Optimizer learning rate at save time.
+    pub learning_rate: f32,
+}
+
+/// IEEE CRC-32 (reflected, polynomial 0xEDB88320), bitwise — checkpoint
+/// files are small enough that a table-free implementation is fine.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+        }
+    }
+    !crc
+}
+
+fn put_tensor_data(buf: &mut BytesMut, t: &Tensor) {
+    for &v in t.as_slice() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Serialises a model's parameters, optimizer state and `meta` to v2
+/// bytes.
+pub fn checkpoint_to_bytes(model: &mut dyn Layer, meta: CheckpointMeta) -> Bytes {
     let params = model.params_mut();
     let mut buf = BytesMut::new();
     buf.put_slice(MAGIC);
-    buf.put_u32_le(VERSION);
+    buf.put_u32_le(V2);
+    buf.put_u32_le(meta.epoch as u32);
+    buf.put_f32_le(meta.learning_rate);
     buf.put_u32_le(params.len() as u32);
     for p in params {
         let shape = p.value.shape();
@@ -71,61 +129,110 @@ pub fn params_to_bytes(model: &mut dyn Layer) -> Bytes {
         for &d in shape {
             buf.put_u32_le(d as u32);
         }
-        for &v in p.value.as_slice() {
-            buf.put_f32_le(v);
+        put_tensor_data(&mut buf, &p.value);
+        buf.put_u32_le(p.state.len() as u32);
+        for s in &p.state {
+            put_tensor_data(&mut buf, s);
         }
     }
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
     buf.freeze()
 }
 
-/// Restores a model's parameters from bytes produced by
-/// [`params_to_bytes`].
-///
-/// # Errors
-///
-/// Returns [`IoError::Format`] for corrupt data and
-/// [`IoError::ShapeMismatch`] when the checkpoint's parameter count or any
-/// tensor shape differs from the receiving model.
-pub fn params_from_bytes(model: &mut dyn Layer, data: &[u8]) -> Result<(), IoError> {
+/// Serialises a model's parameters to bytes (v2, epoch 0 — use
+/// [`checkpoint_to_bytes`] to record training progress).
+pub fn params_to_bytes(model: &mut dyn Layer) -> Bytes {
+    checkpoint_to_bytes(
+        model,
+        CheckpointMeta {
+            epoch: 0,
+            learning_rate: 0.0,
+        },
+    )
+}
+
+/// One parsed parameter entry: value plus optimizer state slots.
+struct ParsedParam {
+    value: Tensor,
+    state: Vec<Tensor>,
+}
+
+fn read_exact_f32(buf: &mut &[u8], shape: &[usize], what: &str) -> Result<Tensor, IoError> {
+    let len: usize = shape.iter().product();
+    if buf.remaining() < len * 4 {
+        return Err(IoError::Format(format!("truncated data of {what}")));
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(buf.get_f32_le());
+    }
+    if data.iter().any(|v| !v.is_finite()) {
+        return Err(IoError::Format(format!("non-finite value in {what}")));
+    }
+    Tensor::from_vec(shape.to_vec(), data)
+        .map_err(|e| IoError::Format(format!("bad shape for {what}: {e}")))
+}
+
+fn read_shape(buf: &mut &[u8], what: &str) -> Result<Vec<usize>, IoError> {
+    if buf.remaining() < 4 {
+        return Err(IoError::Format(format!("truncated at {what}")));
+    }
+    let rank = buf.get_u32_le() as usize;
+    if rank > 8 {
+        return Err(IoError::Format(format!("implausible rank {rank} for {what}")));
+    }
+    if buf.remaining() < rank * 4 {
+        return Err(IoError::Format(format!("truncated shape of {what}")));
+    }
+    Ok((0..rank).map(|_| buf.get_u32_le() as usize).collect())
+}
+
+/// Parses the whole payload into memory without touching any model; the
+/// version field selects whether meta + optimizer state + CRC are
+/// expected.
+fn parse(data: &[u8]) -> Result<(CheckpointMeta, Vec<ParsedParam>), IoError> {
     let mut buf = data;
     if buf.remaining() < 12 || &buf[..4] != MAGIC {
         return Err(IoError::Format("missing PLCN magic".into()));
     }
     buf.advance(4);
     let version = buf.get_u32_le();
-    if version != VERSION {
-        return Err(IoError::Format(format!("unsupported version {version}")));
+    match version {
+        V1 => parse_v1(buf),
+        V2 => {
+            // Integrity first: the trailing CRC covers every byte before it.
+            if data.len() < 12 + 4 {
+                return Err(IoError::Format("v2 payload too short for CRC".into()));
+            }
+            let body = &data[..data.len() - 4];
+            let stored = (&data[data.len() - 4..]).get_u32_le();
+            let actual = crc32(body);
+            if stored != actual {
+                return Err(IoError::Format(format!(
+                    "CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+                )));
+            }
+            let buf = &body[8..]; // past magic + version
+            parse_v2(buf)
+        }
+        v => Err(IoError::Format(format!("unsupported version {v}"))),
+    }
+}
+
+fn parse_v1(mut buf: &[u8]) -> Result<(CheckpointMeta, Vec<ParsedParam>), IoError> {
+    if buf.remaining() < 4 {
+        return Err(IoError::Format("truncated v1 header".into()));
     }
     let count = buf.get_u32_le() as usize;
-    let mut params = model.params_mut();
-    if count != params.len() {
-        return Err(IoError::ShapeMismatch(format!(
-            "checkpoint has {count} parameters, model has {}",
-            params.len()
-        )));
-    }
-    for (i, p) in params.iter_mut().enumerate() {
-        if buf.remaining() < 4 {
-            return Err(IoError::Format(format!("truncated at parameter {i}")));
-        }
-        let rank = buf.get_u32_le() as usize;
-        if buf.remaining() < rank * 4 {
-            return Err(IoError::Format(format!("truncated shape of parameter {i}")));
-        }
-        let shape: Vec<usize> = (0..rank).map(|_| buf.get_u32_le() as usize).collect();
-        if shape != p.value.shape() {
-            return Err(IoError::ShapeMismatch(format!(
-                "parameter {i}: checkpoint {shape:?} vs model {:?}",
-                p.value.shape()
-            )));
-        }
-        let len: usize = shape.iter().product();
-        if buf.remaining() < len * 4 {
-            return Err(IoError::Format(format!("truncated data of parameter {i}")));
-        }
-        for v in p.value.as_mut_slice() {
-            *v = buf.get_f32_le();
-        }
+    let mut params = Vec::with_capacity(count);
+    for i in 0..count {
+        let shape = read_shape(&mut buf, &format!("parameter {i}"))?;
+        let value = read_exact_f32(&mut buf, &shape, &format!("parameter {i}"))?;
+        params.push(ParsedParam {
+            value,
+            state: Vec::new(),
+        });
     }
     if buf.has_remaining() {
         return Err(IoError::Format(format!(
@@ -133,7 +240,118 @@ pub fn params_from_bytes(model: &mut dyn Layer, data: &[u8]) -> Result<(), IoErr
             buf.remaining()
         )));
     }
+    Ok((
+        CheckpointMeta {
+            epoch: 0,
+            learning_rate: 0.0,
+        },
+        params,
+    ))
+}
+
+fn parse_v2(mut buf: &[u8]) -> Result<(CheckpointMeta, Vec<ParsedParam>), IoError> {
+    if buf.remaining() < 12 {
+        return Err(IoError::Format("truncated v2 header".into()));
+    }
+    let epoch = buf.get_u32_le() as usize;
+    let learning_rate = buf.get_f32_le();
+    if !learning_rate.is_finite() {
+        return Err(IoError::Format("non-finite learning rate".into()));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut params = Vec::with_capacity(count);
+    for i in 0..count {
+        let shape = read_shape(&mut buf, &format!("parameter {i}"))?;
+        let value = read_exact_f32(&mut buf, &shape, &format!("parameter {i}"))?;
+        if buf.remaining() < 4 {
+            return Err(IoError::Format(format!(
+                "truncated state count of parameter {i}"
+            )));
+        }
+        let n_state = buf.get_u32_le() as usize;
+        if n_state > 4 {
+            return Err(IoError::Format(format!(
+                "implausible state count {n_state} for parameter {i}"
+            )));
+        }
+        let mut state = Vec::with_capacity(n_state);
+        for s in 0..n_state {
+            state.push(read_exact_f32(
+                &mut buf,
+                &shape,
+                &format!("state {s} of parameter {i}"),
+            )?);
+        }
+        params.push(ParsedParam { value, state });
+    }
+    if buf.has_remaining() {
+        return Err(IoError::Format(format!(
+            "{} trailing bytes after last parameter",
+            buf.remaining()
+        )));
+    }
+    Ok((
+        CheckpointMeta {
+            epoch,
+            learning_rate,
+        },
+        params,
+    ))
+}
+
+/// Validates `parsed` against the model's parameters, then commits values
+/// and optimizer state. Called only after a full successful parse, so the
+/// model is never left half-written.
+fn commit(model: &mut dyn Layer, parsed: Vec<ParsedParam>) -> Result<(), IoError> {
+    let mut params = model.params_mut();
+    if parsed.len() != params.len() {
+        return Err(IoError::ShapeMismatch(format!(
+            "checkpoint has {} parameters, model has {}",
+            parsed.len(),
+            params.len()
+        )));
+    }
+    for (i, (p, entry)) in params.iter().zip(&parsed).enumerate() {
+        if entry.value.shape() != p.value.shape() {
+            return Err(IoError::ShapeMismatch(format!(
+                "parameter {i}: checkpoint {:?} vs model {:?}",
+                entry.value.shape(),
+                p.value.shape()
+            )));
+        }
+    }
+    for (p, entry) in params.iter_mut().zip(parsed) {
+        p.value = entry.value;
+        p.state = entry.state;
+    }
     Ok(())
+}
+
+/// Restores a model's parameters (and, for v2 data, optimizer state) from
+/// bytes, returning the checkpoint metadata (zeros for v1 data).
+///
+/// # Errors
+///
+/// Returns [`IoError::Format`] for corrupt, truncated, CRC-failing or
+/// non-finite data and [`IoError::ShapeMismatch`] when the payload does not
+/// match the receiving model. On error the model is unmodified.
+pub fn checkpoint_from_bytes(
+    model: &mut dyn Layer,
+    data: &[u8],
+) -> Result<CheckpointMeta, IoError> {
+    let (meta, parsed) = parse(data)?;
+    commit(model, parsed)?;
+    Ok(meta)
+}
+
+/// Restores a model's parameters from bytes produced by
+/// [`params_to_bytes`] (either format version).
+///
+/// # Errors
+///
+/// See [`checkpoint_from_bytes`].
+pub fn params_from_bytes(model: &mut dyn Layer, data: &[u8]) -> Result<(), IoError> {
+    checkpoint_from_bytes(model, data).map(|_| ())
 }
 
 /// Saves a model's parameters to `path`.
@@ -157,9 +375,84 @@ pub fn load_params(model: &mut dyn Layer, path: impl AsRef<Path>) -> Result<(), 
     params_from_bytes(model, &data)
 }
 
+/// Atomically saves a v2 checkpoint to `path`: the bytes go to
+/// `<path>.tmp` first and are renamed into place, so a crash mid-write
+/// never leaves a torn file under the final name.
+///
+/// # Errors
+///
+/// Returns [`IoError::File`] on filesystem failure.
+pub fn save_checkpoint(
+    model: &mut dyn Layer,
+    meta: CheckpointMeta,
+    path: impl AsRef<Path>,
+) -> Result<(), IoError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    fs::write(&tmp, checkpoint_to_bytes(model, meta))?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads a checkpoint (either version) from `path`, restoring parameters
+/// and optimizer state and returning its metadata.
+///
+/// # Errors
+///
+/// See [`checkpoint_from_bytes`]; additionally [`IoError::File`] on
+/// filesystem failure.
+pub fn load_checkpoint(
+    model: &mut dyn Layer,
+    path: impl AsRef<Path>,
+) -> Result<CheckpointMeta, IoError> {
+    let data = fs::read(path)?;
+    checkpoint_from_bytes(model, &data)
+}
+
+/// Finds the newest checkpoint in `dir` that loads cleanly into `model`,
+/// restores it, and returns its path and metadata. Files are tried in
+/// descending filename order (checkpoint names embed the zero-padded
+/// epoch), so a corrupt or torn newest file falls back to the one before
+/// it. Returns `Ok(None)` when the directory is missing or holds no
+/// loadable checkpoint.
+///
+/// # Errors
+///
+/// Returns [`IoError::File`] only for directory-listing failures other
+/// than the directory not existing.
+pub fn resume_latest(
+    model: &mut dyn Layer,
+    dir: impl AsRef<Path>,
+) -> Result<Option<(PathBuf, CheckpointMeta)>, IoError> {
+    let dir = dir.as_ref();
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(IoError::File(e)),
+    };
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "plcn"))
+        .collect();
+    candidates.sort();
+    for path in candidates.into_iter().rev() {
+        if let Ok(meta) = load_checkpoint(model, &path) {
+            return Ok(Some((path, meta)));
+        }
+    }
+    Ok(None)
+}
+
+/// Conventional checkpoint filename for an epoch: `ckpt-00042.plcn`.
+pub fn checkpoint_filename(epoch: usize) -> String {
+    format!("ckpt-{epoch:05}.plcn")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::optim::{Optimizer, RmsProp};
     use crate::{Dense, Layer, Mode, Sequential};
     use pelican_tensor::{SeededRng, Tensor};
 
@@ -169,6 +462,14 @@ mod tests {
         s.push(Dense::new(3, 4, &mut rng));
         s.push(Dense::new(4, 2, &mut rng));
         s
+    }
+
+    /// One RMSprop step so params carry optimizer state.
+    fn step_once(model: &mut Sequential) {
+        let x = Tensor::ones(vec![2, 3]);
+        let out = model.forward(&x, Mode::Train);
+        model.backward(&Tensor::ones(out.shape().to_vec()));
+        RmsProp::new(0.01).step(&mut model.params_mut());
     }
 
     #[test]
@@ -237,10 +538,136 @@ mod tests {
     }
 
     #[test]
+    fn bit_flip_fails_crc_and_leaves_model_untouched() {
+        let mut a = net(5);
+        let mut bytes = checkpoint_to_bytes(
+            &mut a,
+            CheckpointMeta {
+                epoch: 3,
+                learning_rate: 0.01,
+            },
+        )
+        .to_vec();
+        // Flip one payload bit (inside the first parameter's data).
+        bytes[20] ^= 0x10;
+        let mut b = net(6);
+        let before = params_to_bytes(&mut b);
+        let err = checkpoint_from_bytes(&mut b, &bytes).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+        assert!(err.to_string().contains("CRC"), "{err}");
+        assert_eq!(params_to_bytes(&mut b), before, "model was modified");
+    }
+
+    #[test]
+    fn checkpoint_round_trip_restores_meta_and_optimizer_state() {
+        let mut a = net(7);
+        step_once(&mut a);
+        let meta = CheckpointMeta {
+            epoch: 12,
+            learning_rate: 0.005,
+        };
+        let bytes = checkpoint_to_bytes(&mut a, meta);
+        let mut b = net(8);
+        let loaded = checkpoint_from_bytes(&mut b, &bytes).expect("load");
+        assert_eq!(loaded, meta);
+        for (pa, pb) in a.params_mut().iter().zip(b.params_mut().iter()) {
+            assert_eq!(pa.value, pb.value);
+            assert_eq!(pa.state, pb.state);
+        }
+    }
+
+    #[test]
+    fn legacy_v1_files_still_load() {
+        // Hand-build a v1 payload for the 2-layer net.
+        let mut a = net(9);
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(V1);
+        let params = a.params_mut();
+        buf.put_u32_le(params.len() as u32);
+        for p in params {
+            let shape = p.value.shape();
+            buf.put_u32_le(shape.len() as u32);
+            for &d in shape {
+                buf.put_u32_le(d as u32);
+            }
+            for &v in p.value.as_slice() {
+                buf.put_f32_le(v);
+            }
+        }
+        let mut b = net(10);
+        let meta = checkpoint_from_bytes(&mut b, &buf.freeze()).expect("v1 load");
+        assert_eq!(meta.epoch, 0);
+        let x = Tensor::ones(vec![1, 3]);
+        assert_eq!(a.forward(&x, Mode::Eval), b.forward(&x, Mode::Eval));
+    }
+
+    #[test]
+    fn non_finite_params_are_rejected() {
+        let mut a = net(11);
+        a.params_mut()[0].value.as_mut_slice()[0] = f32::NAN;
+        let bytes = params_to_bytes(&mut a);
+        let mut b = net(12);
+        let err = params_from_bytes(&mut b, &bytes).unwrap_err();
+        assert!(matches!(err, IoError::Format(_)), "{err}");
+        assert!(err.to_string().contains("non-finite"), "{err}");
+    }
+
+    #[test]
+    fn atomic_save_and_resume_latest() {
+        let dir = std::env::temp_dir().join("pelican-io-resume-test");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut a = net(13);
+        step_once(&mut a);
+        for epoch in [1usize, 2, 3] {
+            save_checkpoint(
+                &mut a,
+                CheckpointMeta {
+                    epoch,
+                    learning_rate: 0.01,
+                },
+                dir.join(checkpoint_filename(epoch)),
+            )
+            .expect("save");
+        }
+        // Corrupt the newest file: resume must fall back to epoch 2.
+        let newest = dir.join(checkpoint_filename(3));
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let mut b = net(14);
+        let (path, meta) = resume_latest(&mut b, &dir).expect("scan").expect("found");
+        assert_eq!(meta.epoch, 2);
+        assert_eq!(path, dir.join(checkpoint_filename(2)));
+        // No .tmp files left behind by atomic saves.
+        assert!(std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .all(|e| e.path().extension().is_some_and(|x| x == "plcn")));
+
+        // Missing directory is a clean None.
+        let mut c = net(15);
+        assert!(resume_latest(&mut c, dir.join("missing"))
+            .expect("scan")
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn errors_are_displayable_and_sourced() {
         let e = IoError::Format("x".into());
         assert!(!e.to_string().is_empty());
         let io = IoError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
         assert!(io.source().is_some());
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is 0xCBF43926.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
     }
 }

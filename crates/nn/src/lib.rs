@@ -34,6 +34,7 @@
 //! assert!(loss > 0.0);
 //! ```
 
+pub mod fault;
 pub mod gradcheck;
 pub mod io;
 pub mod loss;
@@ -59,4 +60,7 @@ pub use layers::rnn::SimpleRnn;
 pub use layers::residual::Residual;
 pub use layers::sequential::Sequential;
 pub use param::Param;
-pub use trainer::{clip_global_norm, evaluate, predict, EpochStats, History, Trainer, TrainerConfig};
+pub use trainer::{
+    clip_global_norm, evaluate, predict, EpochStats, History, RecoveryPolicy, TrainError, Trainer,
+    TrainerConfig,
+};

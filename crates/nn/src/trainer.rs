@@ -1,9 +1,39 @@
-//! Minibatch training loop with per-epoch history.
+//! Minibatch training loop with per-epoch history and fault-tolerant
+//! guardrails.
+//!
+//! The paper's training runs are long enough that single faults — a NaN
+//! loss from one corrupted batch, an exploding gradient, a torn
+//! checkpoint — should cost a retry, not the run. [`Trainer::fit`]
+//! therefore layers three defences:
+//!
+//! * **detection** — a non-finite minibatch loss always aborts the epoch
+//!   (it can only poison every parameter from there); an opt-in
+//!   [`RecoveryPolicy`] extends detection to gradients, updated
+//!   parameters and epoch-over-epoch loss spikes;
+//! * **rollback** — with a policy set, parameters, optimizer state and
+//!   learning rate are snapshotted at every epoch boundary; a detected
+//!   fault restores the snapshot, backs the learning rate off and retries
+//!   the epoch (with a freshly derived shuffle order) up to a bounded
+//!   number of times;
+//! * **durability** — with a checkpoint directory configured, a v2
+//!   checkpoint (parameters + optimizer state + epoch + learning rate,
+//!   CRC-protected, atomically written) is saved on an epoch cadence, and
+//!   `fit` resumes from the newest valid checkpoint it finds there, so a
+//!   killed process repeats no completed work. Shuffle orders are derived
+//!   per epoch from the configured seed, so a resumed run replays the
+//!   exact batch sequence the uninterrupted run would have seen.
+//!
+//! All failures surface as typed [`TrainError`]s; geometry mistakes that
+//! previously panicked now return [`TrainError::ShapeMismatch`].
 
+use crate::io::{self, CheckpointMeta};
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::{Layer, Mode};
 use pelican_tensor::{SeededRng, Tensor};
+use std::error::Error;
+use std::fmt;
+use std::path::PathBuf;
 
 /// Per-epoch measurements, mirroring what the paper plots in Fig. 5.
 #[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
@@ -18,6 +48,8 @@ pub struct EpochStats {
     pub test_loss: Option<f32>,
     /// Accuracy on the held-out set (if one was supplied).
     pub test_acc: Option<f32>,
+    /// Fault rollbacks it took to complete this epoch (0 on a clean pass).
+    pub recoveries: usize,
 }
 
 /// The full training history of one run.
@@ -25,6 +57,10 @@ pub struct EpochStats {
 pub struct History {
     /// One entry per epoch, in order.
     pub epochs: Vec<EpochStats>,
+    /// Total fault rollbacks across all epochs.
+    pub total_recoveries: usize,
+    /// Epoch of the checkpoint this run resumed from, if any.
+    pub resumed_from_epoch: Option<usize>,
 }
 
 impl History {
@@ -44,6 +80,89 @@ impl History {
     }
 }
 
+/// Why a training run failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrainError {
+    /// Input/label geometry is wrong (wrong rank, mismatched counts,
+    /// empty training set).
+    ShapeMismatch(String),
+    /// A non-finite loss/gradient/parameter was detected and no recovery
+    /// policy was configured.
+    NonFinite {
+        /// Epoch in which the fault appeared.
+        epoch: usize,
+        /// What was detected.
+        detail: String,
+    },
+    /// Faults kept recurring after exhausting the policy's retry budget.
+    Unrecoverable {
+        /// Epoch that could not be completed.
+        epoch: usize,
+        /// Rollbacks attempted for that epoch.
+        retries: usize,
+        /// The last fault observed.
+        detail: String,
+    },
+    /// Saving or scanning checkpoints failed.
+    Checkpoint(String),
+}
+
+impl fmt::Display for TrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrainError::ShapeMismatch(m) => write!(f, "shape mismatch: {m}"),
+            TrainError::NonFinite { epoch, detail } => {
+                write!(f, "non-finite fault in epoch {epoch}: {detail}")
+            }
+            TrainError::Unrecoverable {
+                epoch,
+                retries,
+                detail,
+            } => write!(
+                f,
+                "epoch {epoch} unrecoverable after {retries} rollbacks: {detail}"
+            ),
+            TrainError::Checkpoint(m) => write!(f, "checkpoint failure: {m}"),
+        }
+    }
+}
+
+impl Error for TrainError {}
+
+/// Rollback-and-retry policy for faults detected during training.
+///
+/// With a policy configured, [`Trainer::fit`] snapshots parameters,
+/// optimizer state and learning rate at every epoch boundary. A fault
+/// restores the snapshot, multiplies the learning rate by
+/// [`lr_backoff`](Self::lr_backoff) and retries the epoch with a freshly
+/// derived shuffle order; after
+/// [`max_retries_per_epoch`](Self::max_retries_per_epoch) failed retries
+/// the run aborts with [`TrainError::Unrecoverable`].
+#[derive(Debug, Clone)]
+pub struct RecoveryPolicy {
+    /// Rollbacks allowed per epoch before giving up.
+    pub max_retries_per_epoch: usize,
+    /// Learning-rate multiplier applied on each rollback (compounding).
+    pub lr_backoff: f32,
+    /// Treat a finite epoch loss more than this factor above the previous
+    /// epoch's as a fault (`None` disables the spike check).
+    pub loss_spike_factor: Option<f32>,
+    /// Also check gradients and updated parameters for non-finite values
+    /// after every minibatch (costs one pass over the parameters).
+    pub check_gradients: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries_per_epoch: 3,
+            lr_backoff: 0.5,
+            loss_spike_factor: Some(10.0),
+            check_gradients: true,
+        }
+    }
+}
+
 /// Knobs for [`Trainer`]; defaults follow the paper's Table I where a value
 /// is dataset-independent.
 #[derive(Debug, Clone)]
@@ -52,7 +171,8 @@ pub struct TrainerConfig {
     pub epochs: usize,
     /// Minibatch size (the paper uses 4000).
     pub batch_size: usize,
-    /// Seed for the per-epoch shuffle.
+    /// Base seed for the per-epoch shuffle orders (each epoch derives its
+    /// own seed from this, the epoch number and the retry count).
     pub shuffle_seed: u64,
     /// Print one line per epoch to stderr.
     pub verbose: bool,
@@ -66,6 +186,16 @@ pub struct TrainerConfig {
     /// step — the standard guard against the exploding-gradient half of
     /// the problem the paper describes in Section III.
     pub grad_clip: Option<f32>,
+    /// Rollback-and-retry on detected faults (`None`: a non-finite loss
+    /// aborts with [`TrainError::NonFinite`]).
+    pub recovery: Option<RecoveryPolicy>,
+    /// Directory for durable checkpoints. When set, `fit` resumes from
+    /// the newest valid checkpoint found there and saves a new one every
+    /// [`checkpoint_every`](Self::checkpoint_every) epochs.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Epoch cadence for checkpoint saves (ignored without
+    /// [`checkpoint_dir`](Self::checkpoint_dir)).
+    pub checkpoint_every: usize,
 }
 
 impl Default for TrainerConfig {
@@ -78,6 +208,52 @@ impl Default for TrainerConfig {
             early_stop_patience: None,
             lr_decay: None,
             grad_clip: None,
+            recovery: None,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+        }
+    }
+}
+
+/// Derives the shuffle seed for one epoch attempt. Mixing the epoch and
+/// retry indices through a SplitMix64 finaliser gives every attempt an
+/// independent order while keeping the whole schedule a pure function of
+/// the base seed — the property kill-and-resume determinism rests on.
+fn epoch_seed(base: u64, epoch: usize, retry: usize) -> u64 {
+    let mut z = base
+        ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (retry as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// In-memory copy of everything a rollback must restore.
+struct Snapshot {
+    values: Vec<Tensor>,
+    states: Vec<Vec<Tensor>>,
+    lr: f32,
+}
+
+impl Snapshot {
+    fn capture(model: &mut dyn Layer, lr: f32) -> Self {
+        let params = model.params_mut();
+        Self {
+            values: params.iter().map(|p| p.value.clone()).collect(),
+            states: params.iter().map(|p| p.state.clone()).collect(),
+            lr,
+        }
+    }
+
+    fn restore(&self, model: &mut dyn Layer) {
+        for (p, (v, s)) in model
+            .params_mut()
+            .into_iter()
+            .zip(self.values.iter().zip(&self.states))
+        {
+            p.value = v.clone();
+            p.state = s.clone();
+            p.zero_grad();
         }
     }
 }
@@ -93,12 +269,14 @@ impl Default for TrainerConfig {
 /// let mut rng = SeededRng::new(0);
 /// let mut net = Sequential::new();
 /// net.push(Dense::new(2, 2, &mut rng));
-/// let x = Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.])?;
+/// let x = Tensor::from_vec(vec![4, 2], vec![0., 0., 0., 1., 1., 0., 1., 1.]).unwrap();
 /// let y = [0usize, 0, 1, 1];
 /// let trainer = Trainer::new(TrainerConfig { epochs: 5, ..Default::default() });
-/// let history = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+/// let history = trainer
+///     .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None)
+///     .expect("training");
 /// assert_eq!(history.epochs.len(), 5);
-/// # Ok::<(), pelican_tensor::ShapeError>(())
+/// assert_eq!(history.total_recoveries, 0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Trainer {
@@ -119,10 +297,15 @@ impl Trainer {
     /// Trains `model` on `(x, y)`, optionally evaluating `(x_test, y_test)`
     /// after every epoch, and returns the history.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `x` is not rank 2 or `y.len()` differs from the number of
-    /// rows.
+    /// * [`TrainError::ShapeMismatch`] — `x` is not rank 2, `y.len()`
+    ///   differs from the number of rows, or the training set is empty;
+    /// * [`TrainError::NonFinite`] — a non-finite loss appeared and no
+    ///   [`RecoveryPolicy`] is configured;
+    /// * [`TrainError::Unrecoverable`] — faults persisted past the
+    ///   policy's retry budget;
+    /// * [`TrainError::Checkpoint`] — checkpoint saving/scanning failed.
     pub fn fit(
         &self,
         model: &mut dyn Layer,
@@ -131,43 +314,102 @@ impl Trainer {
         x: &Tensor,
         y: &[usize],
         eval: Option<(&Tensor, &[usize])>,
-    ) -> History {
-        assert_eq!(x.rank(), 2, "training input must be [rows, features]");
+    ) -> Result<History, TrainError> {
+        if x.rank() != 2 {
+            return Err(TrainError::ShapeMismatch(format!(
+                "training input must be [rows, features], got rank {}",
+                x.rank()
+            )));
+        }
         let n = x.shape()[0];
-        assert_eq!(y.len(), n, "label count must equal row count");
-        assert!(n > 0, "training set must be non-empty");
+        if y.len() != n {
+            return Err(TrainError::ShapeMismatch(format!(
+                "label count {} must equal row count {n}",
+                y.len()
+            )));
+        }
+        if n == 0 {
+            return Err(TrainError::ShapeMismatch(
+                "training set must be non-empty".into(),
+            ));
+        }
 
-        let mut rng = SeededRng::new(self.config.shuffle_seed);
         let mut history = History::default();
         let bs = self.config.batch_size.max(1);
+        let policy = self.config.recovery.as_ref();
+
+        let mut start_epoch = 1usize;
+        if let Some(dir) = &self.config.checkpoint_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| TrainError::Checkpoint(format!("creating {dir:?}: {e}")))?;
+            match io::resume_latest(model, dir) {
+                Ok(Some((path, meta))) => {
+                    optimizer.set_learning_rate(meta.learning_rate);
+                    start_epoch = meta.epoch + 1;
+                    history.resumed_from_epoch = Some(meta.epoch);
+                    if self.config.verbose {
+                        eprintln!(
+                            "resuming from {} (epoch {})",
+                            path.display(),
+                            meta.epoch
+                        );
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => return Err(TrainError::Checkpoint(e.to_string())),
+            }
+        }
+
+        let mut snapshot = policy.map(|_| Snapshot::capture(model, optimizer.learning_rate()));
         let mut best_eval_loss = f32::INFINITY;
         let mut epochs_without_improvement = 0usize;
+        let mut prev_train_loss: Option<f32> = None;
 
-        for epoch in 1..=self.config.epochs {
-            let mut order: Vec<usize> = (0..n).collect();
-            rng.shuffle(&mut order);
+        for epoch in start_epoch..=self.config.epochs {
+            let mut retries = 0usize;
+            let (train_loss, train_acc) = loop {
+                let seed = epoch_seed(self.config.shuffle_seed, epoch, retries);
+                let attempt = self.run_epoch(model, loss, optimizer, x, y, bs, seed, policy);
+                let fault = match attempt {
+                    Ok((tl, ta)) => {
+                        match (policy.and_then(|p| p.loss_spike_factor), prev_train_loss) {
+                            (Some(factor), Some(prev)) if tl > prev * factor => {
+                                format!("loss spike: {tl} > {factor} x previous {prev}")
+                            }
+                            _ => break (tl, ta),
+                        }
+                    }
+                    Err(detail) => detail,
+                };
 
-            let mut loss_sum = 0.0f64;
-            let mut correct = 0usize;
-            for batch in order.chunks(bs) {
-                let xb = x.gather_rows(batch);
-                let yb: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
-
-                model.zero_grad();
-                let out = model.forward(&xb, Mode::Train);
-                let (l, dout) = loss.loss(&out, &yb);
-                model.backward(&dout);
-                if let Some(max_norm) = self.config.grad_clip {
-                    clip_global_norm(&mut model.params_mut(), max_norm);
+                let Some(policy) = policy else {
+                    return Err(TrainError::NonFinite {
+                        epoch,
+                        detail: fault,
+                    });
+                };
+                if retries >= policy.max_retries_per_epoch {
+                    return Err(TrainError::Unrecoverable {
+                        epoch,
+                        retries,
+                        detail: fault,
+                    });
                 }
-                optimizer.step(&mut model.params_mut());
-
-                loss_sum += l as f64 * batch.len() as f64;
-                let preds = out.argmax_rows().expect("output rank");
-                correct += preds.iter().zip(&yb).filter(|(p, t)| p == t).count();
-            }
-            let train_loss = (loss_sum / n as f64) as f32;
-            let train_acc = correct as f32 / n as f32;
+                retries += 1;
+                history.total_recoveries += 1;
+                let snap = snapshot.as_ref().expect("snapshot exists with policy");
+                snap.restore(model);
+                let lr = snap.lr * policy.lr_backoff.powi(retries as i32);
+                optimizer.set_learning_rate(lr);
+                if self.config.verbose {
+                    eprintln!(
+                        "epoch {epoch}: fault ({fault}); rolled back, retry \
+                         {retries}/{} at lr {lr:.6}",
+                        policy.max_retries_per_epoch
+                    );
+                }
+            };
+            prev_train_loss = Some(train_loss);
 
             let (test_loss, test_acc) = match eval {
                 Some((xt, yt)) => {
@@ -193,11 +435,26 @@ impl Trainer {
                 train_acc,
                 test_loss,
                 test_acc,
+                recoveries: retries,
             });
 
             if let Some(decay) = self.config.lr_decay {
                 optimizer.set_learning_rate(optimizer.learning_rate() * decay);
             }
+            if let Some(s) = snapshot.as_mut() {
+                *s = Snapshot::capture(model, optimizer.learning_rate());
+            }
+            if let Some(dir) = &self.config.checkpoint_dir {
+                if epoch % self.config.checkpoint_every.max(1) == 0 {
+                    let meta = CheckpointMeta {
+                        epoch,
+                        learning_rate: optimizer.learning_rate(),
+                    };
+                    io::save_checkpoint(model, meta, dir.join(io::checkpoint_filename(epoch)))
+                        .map_err(|e| TrainError::Checkpoint(e.to_string()))?;
+                }
+            }
+
             if let (Some(patience), Some(eval_loss)) =
                 (self.config.early_stop_patience, test_loss)
             {
@@ -215,7 +472,74 @@ impl Trainer {
                 }
             }
         }
-        history
+        Ok(history)
+    }
+
+    /// One pass over the shuffled training set. Returns the epoch's mean
+    /// loss and accuracy, or a fault description the moment a non-finite
+    /// loss (always checked) or non-finite gradient/parameter (with
+    /// `policy.check_gradients`) appears.
+    #[allow(clippy::too_many_arguments)]
+    fn run_epoch(
+        &self,
+        model: &mut dyn Layer,
+        loss: &dyn Loss,
+        optimizer: &mut dyn Optimizer,
+        x: &Tensor,
+        y: &[usize],
+        bs: usize,
+        seed: u64,
+        policy: Option<&RecoveryPolicy>,
+    ) -> Result<(f32, f32), String> {
+        let n = x.shape()[0];
+        let mut rng = SeededRng::new(seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        rng.shuffle(&mut order);
+
+        let check_grads = policy.is_some_and(|p| p.check_gradients);
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        for batch in order.chunks(bs) {
+            let xb = x.gather_rows(batch);
+            let yb: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
+
+            model.zero_grad();
+            let out = model.forward(&xb, Mode::Train);
+            let (l, dout) = loss.loss(&out, &yb);
+            if !l.is_finite() {
+                return Err(format!("minibatch loss is {l}"));
+            }
+            model.backward(&dout);
+            if check_grads {
+                let bad: usize = model
+                    .params_mut()
+                    .iter()
+                    .map(|p| p.grad.count_non_finite())
+                    .sum();
+                if bad > 0 {
+                    return Err(format!("{bad} non-finite gradient values"));
+                }
+            }
+            if let Some(max_norm) = self.config.grad_clip {
+                clip_global_norm(&mut model.params_mut(), max_norm);
+            }
+            optimizer.step(&mut model.params_mut());
+            if check_grads {
+                let bad: usize = model
+                    .params_mut()
+                    .iter()
+                    .map(|p| p.value.count_non_finite())
+                    .sum();
+                if bad > 0 {
+                    return Err(format!("{bad} non-finite parameter values after update"));
+                }
+            }
+
+            loss_sum += l as f64 * batch.len() as f64;
+            let preds = out.argmax_rows().expect("output rank");
+            correct += preds.iter().zip(&yb).filter(|(p, t)| p == t).count();
+        }
+        Ok(((loss_sum / n as f64) as f32, correct as f32 / n as f32))
     }
 }
 
@@ -294,6 +618,7 @@ pub fn predict(model: &mut dyn Layer, x: &Tensor, batch_size: usize) -> Vec<usiz
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultyLayer;
     use crate::loss::SoftmaxCrossEntropy;
     use crate::optim::{RmsProp, Sgd};
     use crate::{Activation, ActivationKind, Dense, Sequential};
@@ -326,10 +651,14 @@ mod tests {
             batch_size: 16,
             ..Default::default()
         });
-        let hist = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+        let hist = trainer
+            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None)
+            .expect("training");
         assert!(hist.epochs.last().unwrap().train_acc > 0.95);
         // Loss decreases over training.
         assert!(hist.epochs.last().unwrap().train_loss < hist.epochs[0].train_loss);
+        assert_eq!(hist.total_recoveries, 0);
+        assert!(hist.resumed_from_epoch.is_none());
     }
 
     #[test]
@@ -347,14 +676,16 @@ mod tests {
             batch_size: 4,
             ..Default::default()
         });
-        let hist = trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut RmsProp::new(0.01),
-            &x,
-            &y,
-            None,
-        );
+        let hist = trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut RmsProp::new(0.01),
+                &x,
+                &y,
+                None,
+            )
+            .expect("training");
         assert_eq!(hist.epochs.last().unwrap().train_acc, 1.0, "XOR not learned");
     }
 
@@ -369,14 +700,16 @@ mod tests {
             epochs: 3,
             ..Default::default()
         });
-        let hist = trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut Sgd::new(0.1),
-            &x,
-            &y,
-            Some((&xt, &yt)),
-        );
+        let hist = trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.1),
+                &x,
+                &y,
+                Some((&xt, &yt)),
+            )
+            .expect("training");
         assert!(hist.epochs.iter().all(|e| e.test_loss.is_some()));
         assert!(hist.final_test_acc().is_some());
         assert!(hist.final_test_loss().is_some());
@@ -393,7 +726,9 @@ mod tests {
             epochs: 20,
             ..Default::default()
         });
-        trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+        trainer
+            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None)
+            .expect("training");
         let preds = predict(&mut net, &x, 7);
         let acc_pred = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f32 / y.len() as f32;
         let (_, acc_eval) = evaluate(&mut net, &SoftmaxCrossEntropy, &x, &y, 13);
@@ -416,20 +751,23 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "label count")]
-    fn mismatched_labels_panic() {
+    fn mismatched_labels_error() {
         let mut rng = SeededRng::new(0);
         let mut net = Sequential::new();
         net.push(Dense::new(2, 2, &mut rng));
         let trainer = Trainer::new(TrainerConfig::default());
-        trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut Sgd::new(0.1),
-            &Tensor::zeros(vec![4, 2]),
-            &[0, 1],
-            None,
-        );
+        let err = trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.1),
+                &Tensor::zeros(vec![4, 2]),
+                &[0, 1],
+                None,
+            )
+            .unwrap_err();
+        assert!(matches!(err, TrainError::ShapeMismatch(_)), "{err}");
+        assert!(err.to_string().contains("label count"), "{err}");
     }
 
     #[test]
@@ -445,14 +783,16 @@ mod tests {
             early_stop_patience: Some(3),
             ..Default::default()
         });
-        let hist = trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut Sgd::new(0.0),
-            &x,
-            &y,
-            Some((&x, &y)),
-        );
+        let hist = trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.0),
+                &x,
+                &y,
+                Some((&x, &y)),
+            )
+            .expect("training");
         assert_eq!(hist.epochs.len(), 4, "1 best epoch + 3 patience");
     }
 
@@ -467,7 +807,9 @@ mod tests {
             early_stop_patience: Some(1),
             ..Default::default()
         });
-        let hist = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.0), &x, &y, None);
+        let hist = trainer
+            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.0), &x, &y, None)
+            .expect("training");
         assert_eq!(hist.epochs.len(), 5);
     }
 
@@ -483,8 +825,9 @@ mod tests {
             ..Default::default()
         });
         let mut opt = Sgd::new(0.8);
-        trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut opt, &x, &y, None);
-        use crate::optim::Optimizer;
+        trainer
+            .fit(&mut net, &SoftmaxCrossEntropy, &mut opt, &x, &y, None)
+            .expect("training");
         assert!((opt.learning_rate() - 0.1).abs() < 1e-6, "0.8 * 0.5^3 = 0.1");
     }
 
@@ -515,7 +858,9 @@ mod tests {
             grad_clip: Some(0.5),
             ..Default::default()
         });
-        let hist = trainer.fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None);
+        let hist = trainer
+            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None)
+            .expect("training");
         assert!(hist.epochs.last().unwrap().train_acc > 0.9);
     }
 
@@ -533,9 +878,159 @@ mod tests {
             });
             trainer
                 .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.2), &x, &y, None)
+                .expect("training")
                 .final_train_loss()
                 .unwrap()
         };
         assert_eq!(run(), run());
+    }
+
+    /// A loss that always reports NaN — the simplest persistent fault.
+    struct NanLoss;
+    impl Loss for NanLoss {
+        fn loss(&self, output: &Tensor, _targets: &[usize]) -> (f32, Tensor) {
+            (f32::NAN, Tensor::zeros(output.shape().to_vec()))
+        }
+    }
+
+    #[test]
+    fn nan_loss_without_recovery_is_a_typed_error() {
+        let (x, y) = blobs(10, 30);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 3,
+            ..Default::default()
+        });
+        let err = trainer
+            .fit(&mut net, &NanLoss, &mut Sgd::new(0.1), &x, &y, None)
+            .unwrap_err();
+        match err {
+            TrainError::NonFinite { epoch, ref detail } => {
+                assert_eq!(epoch, 1);
+                assert!(detail.contains("loss"), "{detail}");
+            }
+            ref other => panic!("expected NonFinite, got {other}"),
+        }
+    }
+
+    #[test]
+    fn persistent_fault_exhausts_retries() {
+        // A fault baked into the pipeline cannot be outrun by rollback:
+        // the run must stop with a bounded, typed failure rather than spin.
+        let (x, y) = blobs(10, 31);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 3,
+            recovery: Some(RecoveryPolicy {
+                max_retries_per_epoch: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let err = trainer
+            .fit(&mut net, &NanLoss, &mut Sgd::new(0.1), &x, &y, None)
+            .unwrap_err();
+        match err {
+            TrainError::Unrecoverable { epoch, retries, .. } => {
+                assert_eq!(epoch, 1);
+                assert_eq!(retries, 2);
+            }
+            other => panic!("expected Unrecoverable, got {other}"),
+        }
+    }
+
+    #[test]
+    fn recovery_rolls_back_through_injected_faults() {
+        let (x, y) = blobs(40, 33);
+        let mut rng = SeededRng::new(0);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 2, &mut rng));
+        // Corrupt ~10% of training forward passes; retried epochs draw
+        // fresh injector decisions, so give the policy headroom for runs
+        // of consecutive faulty attempts.
+        let mut faulty = FaultyLayer::new(net, 77, 0.1, 0.2);
+        let trainer = Trainer::new(TrainerConfig {
+            epochs: 10,
+            batch_size: 16,
+            recovery: Some(RecoveryPolicy {
+                max_retries_per_epoch: 12,
+                ..Default::default()
+            }),
+            ..Default::default()
+        });
+        let hist = trainer
+            .fit(
+                &mut faulty,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.5),
+                &x,
+                &y,
+                None,
+            )
+            .expect("training should recover");
+        assert_eq!(hist.epochs.len(), 10, "all epochs completed");
+        assert!(hist.total_recoveries > 0, "faults were actually injected");
+        assert!(faulty.injections() > 0);
+        assert_eq!(
+            hist.total_recoveries,
+            hist.epochs.iter().map(|e| e.recoveries).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn kill_and_resume_matches_uninterrupted_run() {
+        use crate::io::params_to_bytes;
+        let (x, y) = blobs(20, 40);
+        let dir_a = std::env::temp_dir().join("pelican-trainer-resume-a");
+        let dir_b = std::env::temp_dir().join("pelican-trainer-resume-b");
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+
+        let fresh_net = || {
+            let mut rng = SeededRng::new(9);
+            let mut net = Sequential::new();
+            net.push(Dense::new(2, 4, &mut rng));
+            net.push(Activation::new(ActivationKind::Relu));
+            net.push(Dense::new(4, 2, &mut rng));
+            net
+        };
+        let config = |epochs: usize, dir: &std::path::Path| TrainerConfig {
+            epochs,
+            batch_size: 8,
+            shuffle_seed: 5,
+            lr_decay: Some(0.9),
+            checkpoint_dir: Some(dir.to_path_buf()),
+            ..Default::default()
+        };
+
+        // Uninterrupted 6-epoch run.
+        let mut a = fresh_net();
+        Trainer::new(config(6, &dir_a))
+            .fit(&mut a, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &y, None)
+            .expect("run A");
+
+        // "Killed" after 3 epochs, then resumed to 6 with a fresh model
+        // and optimizer.
+        let mut b = fresh_net();
+        Trainer::new(config(3, &dir_b))
+            .fit(&mut b, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &y, None)
+            .expect("run B part 1");
+        let mut b2 = fresh_net();
+        let hist = Trainer::new(config(6, &dir_b))
+            .fit(&mut b2, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &y, None)
+            .expect("run B part 2");
+        assert_eq!(hist.resumed_from_epoch, Some(3));
+        assert_eq!(hist.epochs.first().map(|e| e.epoch), Some(4));
+        assert_eq!(
+            params_to_bytes(&mut a),
+            params_to_bytes(&mut b2),
+            "resumed run diverged from uninterrupted run"
+        );
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 }

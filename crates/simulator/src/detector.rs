@@ -15,6 +15,14 @@ pub trait Detector {
 
     /// Display name for reports.
     fn name(&self) -> &'static str;
+
+    /// Windows this detector served in a degraded mode (fallback verdicts
+    /// after a fault). Zero for detectors without a resilience wrapper;
+    /// [`ResilientDetector`](crate::ResilientDetector) overrides it, and
+    /// [`Simulation`](crate::Simulation) copies it into the report.
+    fn degraded_windows(&self) -> usize {
+        0
+    }
 }
 
 /// A ground-truth oracle degraded by configurable miss and false-alarm

@@ -16,7 +16,10 @@
 //! * an [`Analyst`] pool triages alerts at finite throughput, so false
 //!   alarms consume real capacity and delay the triage of true alerts;
 //! * [`Simulation`] drives the pieces and reports detection latency,
-//!   backlog and wasted triage effort.
+//!   backlog and wasted triage effort;
+//! * [`ResilientDetector`] wraps any detector with validation and a
+//!   fallback, so a faulting model degrades windows instead of crashing
+//!   the deployment ([`FaultyDetector`] injects such faults for tests).
 //!
 //! # Example
 //!
@@ -33,10 +36,14 @@
 
 mod alerts;
 mod detector;
+mod resilient;
 mod sim;
 mod traffic;
 
 pub use alerts::{Alert, Analyst, TriageOutcome, TriageStats};
 pub use detector::{Detector, OracleDetector, ThresholdNoiseDetector};
+pub use resilient::{
+    AllNormalFallback, FaultyDetector, ResilienceConfig, ResilientDetector,
+};
 pub use sim::{SimConfig, SimReport, Simulation};
 pub use traffic::{Campaign, Flow, TrafficConfig, TrafficStream};

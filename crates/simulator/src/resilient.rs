@@ -1,0 +1,353 @@
+//! Graceful degradation for deployed detectors.
+//!
+//! A NIDS that crashes is worse than a NIDS that misses: the monitored
+//! link keeps carrying traffic whether or not the model is healthy. This
+//! module wraps any [`Detector`] so that malformed output (wrong length,
+//! out-of-range classes), panics, or oversized windows degrade the
+//! affected window to a configurable fallback detector instead of taking
+//! the whole simulation down. Degraded windows are counted and surface in
+//! [`SimReport::degraded_windows`](crate::SimReport::degraded_windows).
+//!
+//! [`FaultyDetector`] is the matching chaos source: a seeded wrapper that
+//! corrupts an inner detector's verdicts, for exercising the resilience
+//! path in tests and demos.
+
+use crate::detector::Detector;
+use crate::traffic::Flow;
+use pelican_tensor::SeededRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// What the resilience wrapper tolerates and how.
+#[derive(Debug, Clone, Copy)]
+pub struct ResilienceConfig {
+    /// Predictions must be `< class_bound`; anything larger is treated as
+    /// corrupted output and degrades the window.
+    pub class_bound: usize,
+    /// Largest window the primary detector is asked to classify. Bigger
+    /// windows go straight to the fallback — overload protection for a
+    /// model with a fixed inference budget.
+    pub flow_budget: usize,
+    /// Catch panics from the primary (a poisoned network deep in a
+    /// tensor op) and degrade instead of unwinding through the simulator.
+    pub catch_panics: bool,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            class_bound: 64,
+            flow_budget: 10_000,
+            catch_panics: true,
+        }
+    }
+}
+
+/// Wraps a primary [`Detector`] with validation and a fallback.
+///
+/// Every window, the primary's verdict is accepted only if it has one
+/// class per flow and every class is within bounds; otherwise (or on a
+/// panic, or when the window exceeds the flow budget) the fallback
+/// classifies the window and the degradation counter increments. The
+/// primary is retried on the next window — one bad window does not
+/// disable it.
+pub struct ResilientDetector<P: Detector, F: Detector> {
+    primary: P,
+    fallback: F,
+    config: ResilienceConfig,
+    degraded: usize,
+}
+
+impl<P: Detector, F: Detector> ResilientDetector<P, F> {
+    /// Wraps `primary`, degrading bad windows to `fallback`.
+    pub fn new(primary: P, fallback: F, config: ResilienceConfig) -> Self {
+        Self {
+            primary,
+            fallback,
+            config,
+            degraded: 0,
+        }
+    }
+
+    /// Windows served by the fallback so far.
+    pub fn degraded(&self) -> usize {
+        self.degraded
+    }
+
+    /// The wrapped primary, e.g. to inspect its state after a run.
+    pub fn primary(&self) -> &P {
+        &self.primary
+    }
+}
+
+impl<P: Detector, F: Detector> Detector for ResilientDetector<P, F> {
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+        if window.len() > self.config.flow_budget {
+            self.degraded += 1;
+            return self.fallback.classify(window);
+        }
+        let primary = &mut self.primary;
+        let verdict = if self.config.catch_panics {
+            catch_unwind(AssertUnwindSafe(|| primary.classify(window))).ok()
+        } else {
+            Some(primary.classify(window))
+        };
+        let bound = self.config.class_bound;
+        match verdict {
+            Some(preds)
+                if preds.len() == window.len() && preds.iter().all(|&c| c < bound) =>
+            {
+                preds
+            }
+            _ => {
+                self.degraded += 1;
+                self.fallback.classify(window)
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "resilient"
+    }
+
+    fn degraded_windows(&self) -> usize {
+        self.degraded + self.fallback.degraded_windows()
+    }
+}
+
+/// A fallback that never alerts — fail-silent: the pipeline stays up and
+/// the analysts stay undisturbed, at the cost of missing attacks in
+/// degraded windows. The conservative default when no legacy detector is
+/// available to fall back on.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AllNormalFallback;
+
+impl Detector for AllNormalFallback {
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+        vec![0; window.len()]
+    }
+
+    fn name(&self) -> &'static str {
+        "all-normal"
+    }
+}
+
+/// The ways [`FaultyDetector`] corrupts a verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DetectorFault {
+    /// Drop the second half of the predictions (wrong length).
+    Truncate,
+    /// Return nothing at all (a stalled model).
+    Stall,
+    /// Replace a prediction with an absurd class index.
+    Garbage,
+    /// Panic mid-classification.
+    Panic,
+}
+
+/// A seeded chaos wrapper corrupting an inner detector's output.
+///
+/// At the configured per-window rate it truncates the verdict, returns an
+/// empty one, injects out-of-range class indices, or (only when enabled
+/// via [`with_panics`](FaultyDetector::with_panics)) panics outright —
+/// exactly the failure modes [`ResilientDetector`] absorbs.
+pub struct FaultyDetector<D: Detector> {
+    inner: D,
+    rng: SeededRng,
+    rate: f32,
+    panics: bool,
+    injected: usize,
+}
+
+impl<D: Detector> FaultyDetector<D> {
+    /// Corrupts roughly `rate` of windows (clamped to `[0, 1]`).
+    pub fn new(inner: D, seed: u64, rate: f32) -> Self {
+        Self {
+            inner,
+            rng: SeededRng::new(seed),
+            rate: rate.clamp(0.0, 1.0),
+            panics: false,
+            injected: 0,
+        }
+    }
+
+    /// Also inject panics (off by default: a panicking detector aborts
+    /// any harness that does not catch it).
+    pub fn with_panics(mut self, panics: bool) -> Self {
+        self.panics = panics;
+        self
+    }
+
+    /// Windows corrupted so far.
+    pub fn injected(&self) -> usize {
+        self.injected
+    }
+}
+
+impl<D: Detector> Detector for FaultyDetector<D> {
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+        let mut preds = self.inner.classify(window);
+        if self.rng.uniform() >= self.rate {
+            return preds;
+        }
+        self.injected += 1;
+        let faults: &[DetectorFault] = if self.panics {
+            &[
+                DetectorFault::Truncate,
+                DetectorFault::Stall,
+                DetectorFault::Garbage,
+                DetectorFault::Panic,
+            ]
+        } else {
+            &[
+                DetectorFault::Truncate,
+                DetectorFault::Stall,
+                DetectorFault::Garbage,
+            ]
+        };
+        match faults[self.rng.index(faults.len())] {
+            DetectorFault::Truncate => preds.truncate(preds.len() / 2),
+            DetectorFault::Stall => preds.clear(),
+            DetectorFault::Garbage => {
+                if !preds.is_empty() {
+                    let i = self.rng.index(preds.len());
+                    preds[i] = usize::MAX;
+                }
+            }
+            DetectorFault::Panic => panic!("injected detector fault"),
+        }
+        preds
+    }
+
+    fn name(&self) -> &'static str {
+        "faulty"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::OracleDetector;
+    use crate::traffic::TrafficStream;
+
+    fn window(n: usize) -> Vec<Flow> {
+        TrafficStream::nslkdd(0.3, 4).next_window(n)
+    }
+
+    #[test]
+    fn healthy_primary_passes_through() {
+        let w = window(50);
+        let mut det = ResilientDetector::new(
+            OracleDetector::new(1.0, 0.0, 1),
+            AllNormalFallback,
+            ResilienceConfig::default(),
+        );
+        let preds = det.classify(&w);
+        assert_eq!(preds.len(), w.len());
+        assert_eq!(det.degraded(), 0);
+        assert_eq!(det.degraded_windows(), 0);
+        for (p, f) in preds.iter().zip(&w) {
+            assert_eq!(*p != 0, f.true_class != 0, "oracle verdict altered");
+        }
+    }
+
+    /// A detector returning structurally broken output every time.
+    struct Broken(usize);
+    impl Detector for Broken {
+        fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+            self.0 += 1;
+            match self.0 % 3 {
+                0 => Vec::new(),
+                1 => vec![usize::MAX; window.len()],
+                _ => vec![0; window.len() / 2],
+            }
+        }
+        fn name(&self) -> &'static str {
+            "broken"
+        }
+    }
+
+    #[test]
+    fn malformed_output_degrades_to_fallback() {
+        let w = window(30);
+        let mut det =
+            ResilientDetector::new(Broken(0), AllNormalFallback, ResilienceConfig::default());
+        for i in 1..=5 {
+            let preds = det.classify(&w);
+            assert_eq!(preds.len(), w.len(), "fallback must cover the window");
+            assert!(preds.iter().all(|&p| p == 0));
+            assert_eq!(det.degraded(), i);
+        }
+    }
+
+    #[test]
+    fn panicking_primary_is_contained() {
+        struct Bomb;
+        impl Detector for Bomb {
+            fn classify(&mut self, _: &[Flow]) -> Vec<usize> {
+                panic!("boom")
+            }
+            fn name(&self) -> &'static str {
+                "bomb"
+            }
+        }
+        // Silence the panic-hook backtrace noise for this test only.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let w = window(10);
+        let mut det = ResilientDetector::new(Bomb, AllNormalFallback, ResilienceConfig::default());
+        let preds = det.classify(&w);
+        std::panic::set_hook(prev);
+        assert_eq!(preds.len(), w.len());
+        assert_eq!(det.degraded(), 1);
+    }
+
+    #[test]
+    fn oversized_window_hits_the_flow_budget() {
+        let w = window(40);
+        let mut det = ResilientDetector::new(
+            OracleDetector::new(1.0, 0.0, 1),
+            AllNormalFallback,
+            ResilienceConfig {
+                flow_budget: 10,
+                ..Default::default()
+            },
+        );
+        let preds = det.classify(&w);
+        assert_eq!(preds.len(), w.len());
+        assert_eq!(det.degraded(), 1, "budget breach must degrade");
+        assert!(preds.iter().all(|&p| p == 0), "fallback is all-normal");
+    }
+
+    #[test]
+    fn faulty_detector_injects_at_rate() {
+        let mut det = FaultyDetector::new(OracleDetector::new(1.0, 0.0, 2), 9, 1.0);
+        let w = window(20);
+        for _ in 0..10 {
+            det.classify(&w);
+        }
+        assert_eq!(det.injected(), 10, "rate 1.0 corrupts every window");
+        let mut clean = FaultyDetector::new(OracleDetector::new(1.0, 0.0, 2), 9, 0.0);
+        for _ in 0..10 {
+            let preds = clean.classify(&w);
+            assert_eq!(preds.len(), w.len());
+        }
+        assert_eq!(clean.injected(), 0);
+    }
+
+    #[test]
+    fn resilient_absorbs_injected_faults_end_to_end() {
+        let w = window(25);
+        let faulty = FaultyDetector::new(OracleDetector::new(1.0, 0.0, 3), 21, 0.5);
+        let mut det =
+            ResilientDetector::new(faulty, AllNormalFallback, ResilienceConfig::default());
+        let mut degraded_any = false;
+        for _ in 0..40 {
+            let preds = det.classify(&w);
+            assert_eq!(preds.len(), w.len());
+            assert!(preds.iter().all(|&p| p < 64));
+            degraded_any |= det.degraded() > 0;
+        }
+        assert!(degraded_any, "rate 0.5 over 40 windows must trip at least once");
+        assert_eq!(det.degraded(), det.primary().injected());
+    }
+}

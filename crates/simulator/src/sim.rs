@@ -43,6 +43,9 @@ pub struct SimReport {
     /// Mean seconds from a campaign's first flow to its first alert
     /// (detected campaigns only; `None` when no campaign was detected).
     pub mean_time_to_detection: Option<f64>,
+    /// Windows served in a degraded mode (fallback verdicts after a
+    /// detector fault); non-zero only for resilience-wrapped detectors.
+    pub degraded_windows: usize,
     /// The security team's triage statistics.
     pub triage: TriageStats,
 }
@@ -140,6 +143,7 @@ impl Simulation {
             } else {
                 Some(latency_sum / detected as f64)
             },
+            degraded_windows: detector.degraded_windows(),
             triage: team.stats(),
         }
     }
@@ -200,6 +204,35 @@ mod tests {
             noisy.triage.mean_queue_delay >= clean.triage.mean_queue_delay,
             "delays should grow with the false-alarm flood"
         );
+    }
+
+    #[test]
+    fn degraded_windows_surface_in_the_report() {
+        use crate::resilient::{
+            AllNormalFallback, FaultyDetector, ResilienceConfig, ResilientDetector,
+        };
+        let stream = TrafficStream::nslkdd(0.4, 11);
+        let faulty = FaultyDetector::new(OracleDetector::new(1.0, 0.0, 5), 17, 0.5);
+        let detector =
+            ResilientDetector::new(faulty, AllNormalFallback, ResilienceConfig::default());
+        let cfg = SimConfig {
+            windows: 20,
+            flows_per_window: 40,
+        };
+        let report = Simulation::new(cfg).run(stream, detector, Analyst::new(2, 30.0));
+        assert!(report.degraded_windows > 0, "rate 0.5 over 20 windows");
+        assert!(report.degraded_windows <= cfg.windows);
+        assert_eq!(report.detector, "resilient");
+        // The run completed and produced a coherent report despite faults.
+        assert!(report.flows >= cfg.windows * cfg.flows_per_window);
+        assert!((0.0..=1.0).contains(&report.detection_rate));
+        // A plain detector reports zero degraded windows.
+        let clean = Simulation::new(cfg).run(
+            TrafficStream::nslkdd(0.4, 11),
+            OracleDetector::new(1.0, 0.0, 5),
+            Analyst::new(2, 30.0),
+        );
+        assert_eq!(clean.degraded_windows, 0);
     }
 
     #[test]

@@ -56,14 +56,16 @@ fn main() {
             verbose: false,
             ..Default::default()
         });
-        trainer.fit(
-            &mut net,
-            &SoftmaxCrossEntropy,
-            &mut RmsProp::new(0.01),
-            &split.x_train,
-            &split.y_train,
-            None,
-        );
+        trainer
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut RmsProp::new(0.01),
+                &split.x_train,
+                &split.y_train,
+                None,
+            )
+            .expect("fold training failed");
 
         let preds = predict(&mut net, &split.x_test, 256);
         let fold_conf = Confusion::from_predictions(&preds, &split.y_test, 0);

@@ -13,8 +13,8 @@ use pelican::nn::optim::RmsProp;
 use pelican::nn::{predict, Sequential, Trainer, TrainerConfig};
 use pelican::prelude::*;
 use pelican_simulator::{
-    Analyst, Detector, Flow, SimConfig, Simulation, ThresholdNoiseDetector, TrafficConfig,
-    TrafficStream,
+    AllNormalFallback, Analyst, Detector, Flow, ResilienceConfig, ResilientDetector, SimConfig,
+    Simulation, ThresholdNoiseDetector, TrafficConfig, TrafficStream,
 };
 
 /// A trained network plus its preprocessing, wired into the simulator.
@@ -75,14 +75,22 @@ fn main() {
         &x,
         &y,
         None,
-    );
+    )
+    .expect("NIDS training failed");
 
-    let detector = NidsDetector {
-        net,
-        encoder,
-        scaler,
-        schema: history.schema().clone(),
-    };
+    // Deploy behind the resilience wrapper: if the model ever emits a
+    // malformed verdict (or panics), the window degrades to all-normal
+    // instead of taking the monitoring loop down.
+    let detector = ResilientDetector::new(
+        NidsDetector {
+            net,
+            encoder,
+            scaler,
+            schema: history.schema().clone(),
+        },
+        AllNormalFallback,
+        ResilienceConfig::default(),
+    );
 
     // ---- Online: simulate the monitored link + security team. ---------
     let make_stream = || {
@@ -138,4 +146,10 @@ fn print_report(r: &pelican_simulator::SimReport) {
         100.0 * r.triage.wasted_fraction(),
         r.triage.mean_queue_delay
     );
+    if r.degraded_windows > 0 {
+        println!(
+            "  resilience: {} window(s) served by the fallback detector",
+            r.degraded_windows
+        );
+    }
 }

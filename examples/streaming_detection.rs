@@ -57,7 +57,8 @@ fn main() {
         &x_train,
         &y_train,
         None,
-    );
+    )
+    .expect("NIDS training failed");
 
     // --- Online: monitor a live stream in windows of 50 flows. ---------
     println!("\nmonitoring live traffic …");

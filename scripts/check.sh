@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Full local gate: release build, the complete test suite, and clippy
+# with warnings promoted to errors. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "all checks passed"

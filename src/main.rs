@@ -166,16 +166,24 @@ fn cmd_train(cli: &CliArgs) -> Result<(), String> {
         batch_size: cfg.batch_size,
         shuffle_seed: cfg.seed,
         verbose: true,
+        // CLI runs are long and unsupervised: roll back and retry through
+        // transient numeric faults instead of dying on them.
+        recovery: Some(pelican_nn::RecoveryPolicy::default()),
         ..Default::default()
     });
-    trainer.fit(
-        &mut net,
-        &SoftmaxCrossEntropy,
-        &mut RmsProp::new(cfg.learning_rate),
-        &split.x_train,
-        &split.y_train,
-        Some((&split.x_test, &split.y_test)),
-    );
+    let history = trainer
+        .fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut RmsProp::new(cfg.learning_rate),
+            &split.x_train,
+            &split.y_train,
+            Some((&split.x_test, &split.y_test)),
+        )
+        .map_err(|e| e.to_string())?;
+    if history.total_recoveries > 0 {
+        println!("recovered from {} training fault(s)", history.total_recoveries);
+    }
     let preds = predict(&mut net, &split.x_test, cfg.batch_size);
     print_metrics(&preds, &split.y_test, cfg.dataset);
 

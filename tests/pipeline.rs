@@ -83,14 +83,16 @@ fn manual_training_loop_reaches_better_than_chance() {
         verbose: false,
         ..Default::default()
     });
-    let history = trainer.fit(
-        &mut net,
-        &SoftmaxCrossEntropy,
-        &mut RmsProp::new(0.01),
-        &split.x_train,
-        &split.y_train,
-        Some((&split.x_test, &split.y_test)),
-    );
+    let history = trainer
+        .fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut RmsProp::new(0.01),
+            &split.x_train,
+            &split.y_train,
+            Some((&split.x_test, &split.y_test)),
+        )
+        .expect("training failed");
 
     // Majority class (Normal) is ~52% of NSL-KDD; learning must beat it.
     let final_acc = history.final_test_acc().expect("eval recorded");

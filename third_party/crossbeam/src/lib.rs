@@ -1,0 +1,60 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace (parallel
+//! matmul row-chunking); std's scoped threads (stable since 1.63) provide
+//! the same guarantee that borrowed data outlives every spawned thread.
+
+pub mod thread {
+    use std::any::Any;
+    use std::thread as std_thread;
+
+    /// Scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a placeholder
+        /// argument for signature compatibility with crossbeam (which
+        /// passes the scope itself).
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(()))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// all threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panicking child propagates the panic at the end
+    /// of the scope instead of surfacing it through the returned `Result`
+    /// (the error arm exists only for API compatibility).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let mut data = vec![0u32; 8];
+        super::thread::scope(|s| {
+            for (i, chunk) in data.chunks_mut(2).enumerate() {
+                s.spawn(move |_| {
+                    for v in chunk {
+                        *v = i as u32;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(data, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+    }
+}

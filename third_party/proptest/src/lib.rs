@@ -1,0 +1,270 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! A deterministic mini property-testing framework implementing the
+//! strategy combinators this workspace's tests use: range strategies,
+//! tuples, `collection::vec`, `prop_map` / `prop_flat_map` / `prop_filter`,
+//! `Just`, `prop::num::f32::NORMAL`, the `proptest!` macro with
+//! `#![proptest_config]`, and the `prop_assert!` family.
+//!
+//! Differences from upstream, by design:
+//! * no shrinking — failures report the case number instead of a minimal
+//!   input; runs are deterministic (seeded from the test name), so a
+//!   failing case is reproducible by rerunning the test;
+//! * `prop_assert_eq!` reports the stringified expressions, not the values
+//!   (no `Debug` bound).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// Inclusive length bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        pub(crate) lo: usize,
+        pub(crate) hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy producing a `Vec` whose elements come from `element` and
+    /// whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric special strategies.
+
+    pub mod f32 {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+
+        /// Strategy over "normal" `f32`s: finite, non-zero exponent in a
+        /// wide but representable band — no NaN, infinity or subnormals.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Normal;
+
+        /// Normal (classifiable as `f32::is_normal`) values.
+        pub const NORMAL: Normal = Normal;
+
+        impl Strategy for Normal {
+            type Value = f32;
+            fn sample(&self, rng: &mut TestRng) -> f32 {
+                loop {
+                    let mantissa = 1.0 + rng.unit_f32(); // [1, 2)
+                    let exp = rng.range_i32(-60, 61);
+                    let sign = if rng.unit_f32() < 0.5 { -1.0 } else { 1.0 };
+                    let v = sign * mantissa * (exp as f32).exp2();
+                    if v.is_normal() {
+                        return v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports for writing property tests.
+
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Namespace mirror (`prop::num::f32::NORMAL` etc.).
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Runs each contained `fn name(bindings in strategies) { body }` as a
+/// `#[test]`, sampling the strategies `config.cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let strategy = ($($s,)+);
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                for case in 0..config.cases {
+                    let ($($p,)+) = $crate::strategy::Strategy::sample(&strategy, &mut rng);
+                    // The closure gives the body an early-exit scope for
+                    // `prop_assert!`'s `return Err(..)`.
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome = (move || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "property '{}' failed at case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) so the runner can report the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a == *b,
+            "assertion failed: {} == {}",
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a == *b, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(
+            *a != *b,
+            "assertion failed: {} != {}",
+            stringify!($a),
+            stringify!($b)
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(*a != *b, $($fmt)+);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn deterministic_given_test_name() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::test_runner::TestRng::deterministic("x");
+        let mut b = crate::test_runner::TestRng::deterministic("x");
+        for _ in 0..32 {
+            assert_eq!(s.sample(&mut a), s.sample(&mut b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_are_bounded(a in 3usize..9, b in -1.5f32..1.5, c in 0u64..=4) {
+            prop_assert!((3..9).contains(&a));
+            prop_assert!((-1.5..1.5).contains(&b));
+            prop_assert!(c <= 4);
+        }
+
+        #[test]
+        fn tuples_and_patterns((x, y) in (0usize..4, 0usize..4), z in 0usize..2) {
+            prop_assert!(x < 4 && y < 4 && z < 2);
+        }
+
+        #[test]
+        fn vec_and_combinators(v in crate::collection::vec(0u32..10, 5usize)
+            .prop_map(|v| v.into_iter().map(|x| x * 2).collect::<Vec<_>>())) {
+            prop_assert_eq!(v.len(), 5);
+            prop_assert!(v.iter().all(|&x| x % 2 == 0 && x < 20));
+        }
+
+        #[test]
+        fn flat_map_chains(len_and_v in (1usize..6).prop_flat_map(|n|
+            (Just(n), crate::collection::vec(0i32..100, n)))) {
+            let (n, v) = len_and_v;
+            prop_assert_eq!(v.len(), n);
+        }
+
+        #[test]
+        fn filter_holds(x in (0i32..100).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert!(x % 2 == 0);
+        }
+
+        #[test]
+        fn normal_floats_are_normal(g in prop::num::f32::NORMAL) {
+            prop_assert!(g.is_normal());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_cases_respected(_x in 0usize..10) {
+            // Runs exactly 7 times; nothing to assert beyond not panicking.
+        }
+    }
+}

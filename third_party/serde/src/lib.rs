@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only *tags* a few history/metrics types with
+//! `#[derive(serde::Serialize)]` — nothing actually serializes them yet
+//! (there is no `serde_json` in the environment). The traits are therefore
+//! markers, and the derive (see `serde_derive`) emits empty impls. If a
+//! future PR needs real serialization, replace this stub with a hand-rolled
+//! writer or the real crates once the registry is reachable.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose state can be serialized.
+pub trait Serialize {}
+
+/// Marker for types whose state can be deserialized.
+pub trait Deserialize {}

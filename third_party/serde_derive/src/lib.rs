@@ -1,0 +1,100 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Emits empty impls of the marker `serde::Serialize`/`serde::Deserialize`
+//! traits (see the `serde` stub). Parses just enough of the item — skip
+//! attributes and visibility, read `struct`/`enum` + name + optional
+//! generics — without `syn`/`quote`, which are equally unavailable offline.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// The type name and its generic parameter names, e.g. `("Foo", ["T"])`.
+fn parse_item(input: TokenStream) -> Option<(String, Vec<String>)> {
+    let mut iter = input.into_iter().peekable();
+    loop {
+        match iter.next()? {
+            // `#[attr]` — the '#' punct followed by a bracketed group.
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        // Skip a possible `(crate)`-style restriction.
+                        if let Some(TokenTree::Group(_)) = iter.peek() {
+                            iter.next();
+                        }
+                    }
+                    "struct" | "enum" | "union" => break,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    let name = match iter.next()? {
+        TokenTree::Ident(id) => id.to_string(),
+        _ => return None,
+    };
+    // Collect generic parameter names from `<...>` if present: idents that
+    // directly follow '<' or ','  at depth 1 and are not lifetimes/bounds.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            iter.next();
+            let mut depth = 1i32;
+            let mut expecting_param = true;
+            for tt in iter.by_ref() {
+                match tt {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        ',' if depth == 1 => expecting_param = true,
+                        '\'' => expecting_param = false,
+                        ':' => expecting_param = false,
+                        _ => {}
+                    },
+                    TokenTree::Ident(id) if depth == 1 && expecting_param => {
+                        let w = id.to_string();
+                        if w != "const" {
+                            generics.push(w);
+                            expecting_param = false;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    Some((name, generics))
+}
+
+fn marker_impl(trait_name: &str, input: TokenStream) -> TokenStream {
+    let Some((name, generics)) = parse_item(input) else {
+        return TokenStream::new();
+    };
+    let code = if generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {name} {{}}")
+    } else {
+        let params = generics.join(", ");
+        format!("impl<{params}> ::serde::{trait_name} for {name}<{params}> {{}}")
+    };
+    code.parse().unwrap_or_default()
+}
+
+/// No-op `Serialize` derive: emits `impl serde::Serialize for T {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    marker_impl("Serialize", input)
+}
+
+/// No-op `Deserialize` derive: emits `impl serde::Deserialize for T {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    marker_impl("Deserialize", input)
+}
