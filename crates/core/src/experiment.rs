@@ -30,6 +30,7 @@ use pelican_data::{holdout_indices, train_test_split, RawDataset};
 use pelican_nn::loss::SoftmaxCrossEntropy;
 use pelican_nn::optim::RmsProp;
 use pelican_nn::{predict, History, Trainer, TrainerConfig};
+use pelican_runtime::{stream_seed, tree_reduce, with_workers, Pool};
 use std::fmt;
 use std::path::PathBuf;
 
@@ -316,65 +317,91 @@ pub struct KFoldResult {
     pub mean_multiclass_acc: f32,
 }
 
+/// Trains and evaluates one cross-validation fold. Every seed is derived
+/// from the master seed and the fold id through [`stream_seed`], so each
+/// fold owns a decorrelated RNG stream that is a pure function of
+/// `(cfg.seed, fold_id)` — independent of which worker runs the fold, or
+/// in what order.
+fn run_fold(
+    arch: Arch,
+    cfg: &ExpConfig,
+    raw: &RawDataset,
+    fold_id: usize,
+    train_idx: &[usize],
+    test_idx: &[usize],
+) -> RunResult {
+    let split = train_test_split(raw, train_idx, test_idx);
+    let mut net = build_network(&NetConfig {
+        in_features: cfg.dataset.encoded_width(),
+        classes: cfg.dataset.classes(),
+        blocks: arch.blocks(),
+        residual: arch.is_residual(),
+        kernel: cfg.kernel,
+        dropout: cfg.dropout,
+        seed: stream_seed(cfg.seed, fold_id as u64),
+    });
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        shuffle_seed: stream_seed(cfg.seed ^ 0x5F5F, fold_id as u64),
+        verbose: false,
+        ..Default::default()
+    });
+    let mut opt = RmsProp::new(cfg.learning_rate);
+    let history = trainer
+        .fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut opt,
+            &split.x_train,
+            &split.y_train,
+            Some((&split.x_test, &split.y_test)),
+        )
+        .unwrap_or_else(|e| panic!("training {} fold {fold_id} failed: {e}", arch.paper_name()));
+    let preds = predict(&mut net, &split.x_test, cfg.batch_size);
+    let confusion = Confusion::from_predictions(&preds, &split.y_test, 0);
+    let matrix = ConfusionMatrix::from_predictions(&preds, &split.y_test, cfg.dataset.classes());
+    RunResult {
+        arch_name: arch.paper_name(),
+        history,
+        confusion,
+        multiclass_acc: matrix.accuracy(),
+    }
+}
+
 /// Runs the complete k-fold protocol: trains a fresh network per fold and
 /// aggregates the confusion counts, exactly as the paper's Table II
 /// (which reports *totals* over the cross-validation).
+///
+/// Folds are independent, so they run concurrently on the ambient
+/// [`pelican_runtime`] worker pool (`PELICAN_THREADS` workers). Each fold
+/// installs a serial execution scope for its own tensor kernels — the
+/// parallelism budget goes to fold concurrency, the coarsest grain.
+/// Results are aggregated in fold order with a fixed-order
+/// [`tree_reduce`], so the outcome is bit-identical at every worker count.
 ///
 /// `cfg.test_fraction` is ignored — the fold structure defines the splits.
 ///
 /// # Panics
 ///
-/// Panics if `k < 2` or the dataset has fewer than `k` records.
+/// Panics if `k < 2`, the dataset has fewer than `k` records, or any
+/// fold's training run fails.
 pub fn run_kfold(arch: Arch, cfg: &ExpConfig, k: usize) -> KFoldResult {
     let raw = cfg.dataset.generate(cfg.samples, cfg.seed);
     let splits = pelican_data::KFold::new(k, cfg.seed ^ 0xF01D).splits(raw.len());
-    let mut folds = Vec::with_capacity(k);
-    let mut total = Confusion::default();
-    let mut acc_sum = 0.0f32;
-    for (fold_id, (train_idx, test_idx)) in splits.into_iter().enumerate() {
-        let split = train_test_split(&raw, &train_idx, &test_idx);
-        let mut net = build_network(&NetConfig {
-            in_features: cfg.dataset.encoded_width(),
-            classes: cfg.dataset.classes(),
-            blocks: arch.blocks(),
-            residual: arch.is_residual(),
-            kernel: cfg.kernel,
-            dropout: cfg.dropout,
-            seed: cfg.seed.wrapping_add(fold_id as u64),
-        });
-        let trainer = Trainer::new(TrainerConfig {
-            epochs: cfg.epochs,
-            batch_size: cfg.batch_size,
-            shuffle_seed: cfg.seed ^ fold_id as u64,
-            verbose: false,
-            ..Default::default()
-        });
-        let mut opt = RmsProp::new(cfg.learning_rate);
-        let history = trainer
-            .fit(
-                &mut net,
-                &SoftmaxCrossEntropy,
-                &mut opt,
-                &split.x_train,
-                &split.y_train,
-                Some((&split.x_test, &split.y_test)),
-            )
-            .unwrap_or_else(|e| {
-                panic!("training {} fold {fold_id} failed: {e}", arch.paper_name())
-            });
-        let preds = predict(&mut net, &split.x_test, cfg.batch_size);
-        let confusion = Confusion::from_predictions(&preds, &split.y_test, 0);
-        let matrix =
-            ConfusionMatrix::from_predictions(&preds, &split.y_test, cfg.dataset.classes());
-        total.merge(&confusion);
-        acc_sum += matrix.accuracy();
-        folds.push(RunResult {
-            arch_name: arch.paper_name(),
-            history,
-            confusion,
-            multiclass_acc: matrix.accuracy(),
-        });
-    }
+    let folds = Pool::current().map(splits.len(), |fold_id| {
+        let (train_idx, test_idx) = &splits[fold_id];
+        // Worker threads carry no execution override; pin the fold's own
+        // kernels to the serial path so k concurrent folds cannot
+        // oversubscribe the machine.
+        with_workers(1, || run_fold(arch, cfg, &raw, fold_id, train_idx, test_idx))
+    });
+    let total = tree_reduce(folds.iter().map(|f| f.confusion).collect(), |mut a, b| {
+        a.merge(&b);
+        a
+    })
+    .unwrap_or_default();
+    let acc_sum: f32 = folds.iter().map(|f| f.multiclass_acc).sum();
     KFoldResult {
         total,
         mean_multiclass_acc: acc_sum / k as f32,

@@ -270,6 +270,36 @@ mod tests {
     }
 
     #[test]
+    fn merged_fold_confusions_equal_concatenated_confusion() {
+        // The parallel k-fold path computes one Confusion per fold and
+        // combines them with a fixed-order tree reduction; that must equal
+        // the confusion of all predictions scored in one pass.
+        let preds = [0usize, 1, 2, 0, 1, 0, 2, 2, 1, 0, 3, 0, 2];
+        let labels = [1usize, 0, 2, 0, 1, 2, 0, 1, 1, 0, 3, 2, 2];
+        let whole = Confusion::from_predictions(&preds, &labels, 0);
+        // Uneven fold boundaries, like KFold produces when n % k != 0.
+        for bounds in [vec![0, 4, 9, 13], vec![0, 1, 2, 13], vec![0, 13, 13, 13]] {
+            let per_fold: Vec<Confusion> = bounds
+                .windows(2)
+                .map(|w| Confusion::from_predictions(&preds[w[0]..w[1]], &labels[w[0]..w[1]], 0))
+                .collect();
+            let merged = pelican_runtime::tree_reduce(per_fold.clone(), |mut a, b| {
+                a.merge(&b);
+                a
+            })
+            .unwrap();
+            assert_eq!(merged, whole, "bounds {bounds:?}");
+            // Sequential merge agrees with the tree reduction (counts are
+            // integers; any association gives the same totals).
+            let mut seq = Confusion::default();
+            for c in &per_fold {
+                seq.merge(c);
+            }
+            assert_eq!(seq, whole);
+        }
+    }
+
+    #[test]
     fn metrics_stay_in_unit_interval() {
         let preds = [0, 1, 2, 0, 1, 0, 2, 2];
         let labels = [1, 0, 2, 0, 1, 2, 0, 1];

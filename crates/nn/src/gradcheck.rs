@@ -4,8 +4,14 @@
 //! finite-difference approximation of `d/dθ Σ (forward(x) ⊙ R)` for a fixed
 //! random projection `R` — covering both the input gradient and every
 //! parameter gradient. The checks run in the layer's own unit tests.
+//!
+//! [`check_layer_pooled`] repeats the same check with the
+//! [`pelican_runtime`] worker pool forced on, so each layer's analytic
+//! gradients are verified through the parallel tensor kernels as well as
+//! the serial ones.
 
 use crate::{Layer, Mode};
+use pelican_runtime::{with_exec, ExecConfig};
 use pelican_tensor::{SeededRng, Tensor};
 
 /// Maximum number of coordinates probed per tensor; larger tensors are
@@ -48,7 +54,47 @@ fn probe_indices(len: usize, rng: &mut SeededRng) -> Vec<usize> {
 ///
 /// Panics (failing the test) when any probed coordinate disagrees beyond
 /// `tol`, or if the layer's forward pass is not repeatable.
-pub fn check_layer<L: Layer>(mut layer: L, input_shape: &[usize], seed: u64, tol: f32) {
+pub fn check_layer<L: Layer>(layer: L, input_shape: &[usize], seed: u64, tol: f32) {
+    with_exec(ExecConfig::serial(), || {
+        check_layer_here(layer, input_shape, seed, tol);
+    });
+}
+
+/// Gradient-checks freshly built copies of a layer through the worker pool.
+///
+/// Runs the same finite-difference check as [`check_layer`] serially and
+/// then with the pool forced on at 2, 3 and 7 workers (`force_parallel`
+/// bypasses the FLOP threshold, so even small test shapes exercise the
+/// parallel kernels). `make` must build an identically initialised layer on
+/// every call.
+///
+/// # Panics
+///
+/// Panics (failing the test) when any configuration disagrees with finite
+/// differences beyond `tol`.
+pub fn check_layer_pooled<L: Layer>(
+    make: impl Fn() -> L,
+    input_shape: &[usize],
+    seed: u64,
+    tol: f32,
+) {
+    with_exec(ExecConfig::serial(), || {
+        check_layer_here(make(), input_shape, seed, tol);
+    });
+    for workers in [2usize, 3, 7] {
+        let cfg = ExecConfig {
+            workers,
+            force_parallel: true,
+        };
+        with_exec(cfg, || {
+            check_layer_here(make(), input_shape, seed, tol);
+        });
+    }
+}
+
+/// The finite-difference check itself, run under whatever execution
+/// configuration is already installed on this thread.
+fn check_layer_here<L: Layer>(mut layer: L, input_shape: &[usize], seed: u64, tol: f32) {
     let mut rng = SeededRng::new(seed);
     let x_data: Vec<f32> = (0..input_shape.iter().product::<usize>())
         .map(|_| rng.normal_with(0.0, 1.0))

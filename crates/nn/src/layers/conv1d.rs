@@ -259,6 +259,16 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_conv_pooled() {
+        crate::gradcheck::check_layer_pooled(
+            || Conv1d::new(2, 4, 3, &mut SeededRng::new(4)),
+            &[2, 5, 2],
+            43,
+            2e-2,
+        );
+    }
+
+    #[test]
     fn accepts_rank2_input_as_seq1() {
         let mut rng = SeededRng::new(5);
         let mut conv = Conv1d::new(4, 4, 3, &mut rng);

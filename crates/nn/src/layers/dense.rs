@@ -128,6 +128,16 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_dense_pooled() {
+        crate::gradcheck::check_layer_pooled(
+            || Dense::new(5, 4, &mut SeededRng::new(7)),
+            &[3, 5],
+            11,
+            2e-2,
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "backward before forward")]
     fn backward_without_forward_panics() {
         let mut rng = SeededRng::new(0);

@@ -140,4 +140,18 @@ mod tests {
     fn rejects_rate_one() {
         Dropout::new(1.0, 0);
     }
+
+    // At rate > 0 the internal RNG advances every forward call, so the
+    // finite-difference repeatability precondition only holds on the
+    // rate-0 identity path; that still verifies backward's mask plumbing
+    // (mask = None ⇒ pass-through gradient).
+    #[test]
+    fn gradcheck_rate_zero() {
+        crate::gradcheck::check_layer(Dropout::new(0.0, 7), &[4, 5], 11, 1e-3);
+    }
+
+    #[test]
+    fn gradcheck_rate_zero_pooled() {
+        crate::gradcheck::check_layer_pooled(|| Dropout::new(0.0, 7), &[4, 5], 11, 1e-3);
+    }
 }

@@ -351,6 +351,16 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_gru_pooled() {
+        crate::gradcheck::check_layer_pooled(
+            || Gru::new(2, 3, &mut SeededRng::new(3)),
+            &[2, 4, 2],
+            63,
+            3e-2,
+        );
+    }
+
+    #[test]
     fn rank2_input_is_seq1() {
         let mut rng = SeededRng::new(4);
         let mut gru = Gru::new(3, 4, &mut rng);

@@ -97,4 +97,14 @@ mod tests {
         let mut r = Reshape::new(vec![5]);
         r.forward(&Tensor::zeros(vec![2, 4]), Mode::Train);
     }
+
+    #[test]
+    fn gradcheck() {
+        crate::gradcheck::check_layer(Reshape::new(vec![1, 6]), &[3, 2, 3], 5, 1e-3);
+    }
+
+    #[test]
+    fn gradcheck_pooled() {
+        crate::gradcheck::check_layer_pooled(|| Reshape::new(vec![6]), &[3, 2, 3], 5, 1e-3);
+    }
 }

@@ -196,6 +196,13 @@ pub struct TrainerConfig {
     /// Epoch cadence for checkpoint saves (ignored without
     /// [`checkpoint_dir`](Self::checkpoint_dir)).
     pub checkpoint_every: usize,
+    /// Worker threads for the tensor kernels driven by this run (`None`
+    /// inherits the ambient [`pelican_runtime`] configuration, i.e. the
+    /// `PELICAN_THREADS` environment knob). The engine partitions kernel
+    /// *outputs*, never reduction order, so every thread count produces
+    /// bit-identical training trajectories; `Some(1)` reproduces the serial
+    /// path exactly.
+    pub threads: Option<usize>,
 }
 
 impl Default for TrainerConfig {
@@ -211,6 +218,7 @@ impl Default for TrainerConfig {
             recovery: None,
             checkpoint_dir: None,
             checkpoint_every: 1,
+            threads: None,
         }
     }
 }
@@ -307,6 +315,23 @@ impl Trainer {
     ///   policy's retry budget;
     /// * [`TrainError::Checkpoint`] — checkpoint saving/scanning failed.
     pub fn fit(
+        &self,
+        model: &mut dyn Layer,
+        loss: &dyn Loss,
+        optimizer: &mut dyn Optimizer,
+        x: &Tensor,
+        y: &[usize],
+        eval: Option<(&Tensor, &[usize])>,
+    ) -> Result<History, TrainError> {
+        match self.config.threads {
+            Some(t) => pelican_runtime::with_workers(t, || {
+                self.fit_inner(model, loss, optimizer, x, y, eval)
+            }),
+            None => self.fit_inner(model, loss, optimizer, x, y, eval),
+        }
+    }
+
+    fn fit_inner(
         &self,
         model: &mut dyn Layer,
         loss: &dyn Loss,

@@ -43,7 +43,7 @@ mod traffic;
 pub use alerts::{Alert, Analyst, TriageOutcome, TriageStats};
 pub use detector::{Detector, OracleDetector, ThresholdNoiseDetector};
 pub use resilient::{
-    AllNormalFallback, FaultyDetector, ResilienceConfig, ResilientDetector,
+    score_windows, AllNormalFallback, FaultyDetector, ResilienceConfig, ResilientDetector,
 };
 pub use sim::{SimConfig, SimReport, Simulation};
 pub use traffic::{Campaign, Flow, TrafficConfig, TrafficStream};

@@ -3,15 +3,26 @@
 //! All three kernels (`A·B`, `Aᵀ·B`, `A·Bᵀ`) reduce to a dot-product inner
 //! loop over contiguous slices, which the compiler auto-vectorises. Products
 //! above [`crate::PARALLEL_FLOP_THRESHOLD`] multiply-accumulates are split
-//! across scoped worker threads.
+//! across the [`pelican_runtime`] worker pool by partitioning the *output*:
+//! each output element is produced by exactly one worker running the same
+//! scalar loop as the serial kernel, so the result is bit-identical to the
+//! serial path at every worker count.
 
 use crate::{ShapeError, Tensor, PARALLEL_FLOP_THRESHOLD};
+use pelican_runtime::{current_exec, Pool};
 
-/// Number of worker threads used for large products.
-fn worker_count() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(1)
+/// Whether a kernel of `flops` multiply-accumulates over `rows` partitionable
+/// output rows should engage the pool, and with how many workers.
+fn plan(flops: usize, rows: usize) -> Option<(Pool, usize)> {
+    let exec = current_exec();
+    if exec.workers < 2 || rows < 2 {
+        return None;
+    }
+    if flops < PARALLEL_FLOP_THRESHOLD && !exec.force_parallel {
+        return None;
+    }
+    let workers = exec.workers.min(rows);
+    Some((Pool::new(workers), rows.div_ceil(workers)))
 }
 
 /// Dot product of two equal-length slices.
@@ -48,23 +59,38 @@ fn gemm_rows(a: &[f32], bt: &[f32], out: &mut [f32], k: usize, n: usize, row0: u
     }
 }
 
+/// Computes output rows `row0..row0+rows` of `out = Aᵀ·B` where `a` is `k×m`
+/// and `b` is `k×n`, both row-major. The reduction over `t` runs ascending and
+/// keeps the zero-skip, so each output element sees the exact per-element
+/// accumulation order of the serial kernel.
+fn matmul_at_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize, row0: usize) {
+    let rows = out.len() / n;
+    for t in 0..k {
+        let ar = &a[t * m..(t + 1) * m];
+        let br = &b[t * n..(t + 1) * n];
+        for i in 0..rows {
+            let av = ar[row0 + i];
+            if av != 0.0 {
+                let or = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in or.iter_mut().zip(br) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
 /// Shared driver: multiply `a` (m×k, row-major) by `bt` (n×k, row-major,
 /// i.e. B transposed) into an m×n tensor, parallelising when large.
 fn gemm(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize) -> Tensor {
     let mut out = vec![0.0f32; m * n];
-    let flops = m * k * n;
-    let workers = worker_count();
-    if flops < PARALLEL_FLOP_THRESHOLD || workers < 2 || m < 2 {
-        gemm_rows(a, bt, &mut out, k, n, 0);
-    } else {
-        let chunk_rows = m.div_ceil(workers);
-        crossbeam::thread::scope(|s| {
-            for (idx, chunk) in out.chunks_mut(chunk_rows * n).enumerate() {
-                let row0 = idx * chunk_rows;
-                s.spawn(move |_| gemm_rows(a, bt, chunk, k, n, row0));
-            }
-        })
-        .expect("matmul worker panicked");
+    match plan(m * k * n, m) {
+        None => gemm_rows(a, bt, &mut out, k, n, 0),
+        Some((pool, chunk_rows)) => {
+            pool.scope_chunks(&mut out, chunk_rows * n, |idx, chunk| {
+                gemm_rows(a, bt, chunk, k, n, idx * chunk_rows);
+            });
+        }
     }
     Tensor::from_vec(vec![m, n], out).expect("gemm output shape")
 }
@@ -123,16 +149,12 @@ impl Tensor {
         let mut out = vec![0.0f32; m * n];
         let a = self.as_slice();
         let b = rhs.as_slice();
-        for t in 0..k {
-            let ar = &a[t * m..(t + 1) * m];
-            let br = &b[t * n..(t + 1) * n];
-            for (i, &av) in ar.iter().enumerate() {
-                if av != 0.0 {
-                    let or = &mut out[i * n..(i + 1) * n];
-                    for (o, &bv) in or.iter_mut().zip(br) {
-                        *o += av * bv;
-                    }
-                }
+        match plan(m * k * n, m) {
+            None => matmul_at_rows(a, b, &mut out, k, m, n, 0),
+            Some((pool, chunk_rows)) => {
+                pool.scope_chunks(&mut out, chunk_rows * n, |idx, chunk| {
+                    matmul_at_rows(a, b, chunk, k, m, n, idx * chunk_rows);
+                });
             }
         }
         Tensor::from_vec(vec![m, n], out)
@@ -150,9 +172,24 @@ impl Tensor {
             return Err(ShapeError::new("matvec", self.shape(), v.shape()));
         }
         let (m, k) = (self.shape()[0], self.shape()[1]);
-        let out: Vec<f32> = (0..m)
-            .map(|i| dot(&self.as_slice()[i * k..(i + 1) * k], v.as_slice()))
-            .collect();
+        let a = self.as_slice();
+        let vs = v.as_slice();
+        let mut out = vec![0.0f32; m];
+        match plan(m * k, m) {
+            None => {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = dot(&a[i * k..(i + 1) * k], vs);
+                }
+            }
+            Some((pool, chunk_rows)) => {
+                pool.scope_chunks(&mut out, chunk_rows, |idx, chunk| {
+                    let row0 = idx * chunk_rows;
+                    for (i, o) in chunk.iter_mut().enumerate() {
+                        *o = dot(&a[(row0 + i) * k..(row0 + i + 1) * k], vs);
+                    }
+                });
+            }
+        }
         Tensor::from_vec(vec![m], out)
     }
 
@@ -257,6 +294,40 @@ mod tests {
         a.add_row_bias(&b).unwrap();
         assert_eq!(a.as_slice(), &[1., 2., 3., 1., 2., 3.]);
         assert!(a.add_row_bias(&Tensor::zeros(vec![2])).is_err());
+    }
+
+    #[test]
+    fn forced_parallel_kernels_bit_match_serial() {
+        use pelican_runtime::{with_exec, ExecConfig};
+        let a = t(vec![5, 7], (0..35).map(|v| (v as f32).sin()).collect());
+        let b = t(vec![7, 3], (0..21).map(|v| (v as f32).cos()).collect());
+        let bt = b.transpose();
+        let x = t(vec![5, 4], (0..20).map(|v| (v as f32) * 0.3 - 2.0).collect());
+        let y = t(vec![5, 6], (0..30).map(|v| (v as f32).sqrt()).collect());
+        let v = t(vec![7], (0..7).map(|v| v as f32 - 3.0).collect());
+        let serial = with_exec(ExecConfig::serial(), || {
+            (
+                a.matmul(&b).unwrap(),
+                a.matmul_bt(&bt).unwrap(),
+                x.matmul_at(&y).unwrap(),
+                a.matvec(&v).unwrap(),
+            )
+        });
+        for workers in [2usize, 3, 7] {
+            let cfg = ExecConfig { workers, force_parallel: true };
+            let par = with_exec(cfg, || {
+                (
+                    a.matmul(&b).unwrap(),
+                    a.matmul_bt(&bt).unwrap(),
+                    x.matmul_at(&y).unwrap(),
+                    a.matvec(&v).unwrap(),
+                )
+            });
+            assert_eq!(par.0.as_slice(), serial.0.as_slice(), "matmul @ {workers}");
+            assert_eq!(par.1.as_slice(), serial.1.as_slice(), "matmul_bt @ {workers}");
+            assert_eq!(par.2.as_slice(), serial.2.as_slice(), "matmul_at @ {workers}");
+            assert_eq!(par.3.as_slice(), serial.3.as_slice(), "matvec @ {workers}");
+        }
     }
 
     #[test]

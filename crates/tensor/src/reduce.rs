@@ -1,6 +1,23 @@
 //! Reductions and row-wise transforms (sums, means, softmax, argmax).
+//!
+//! `sum_axis0` (the bias-gradient reduction) parallelises by partitioning the
+//! *columns* of the output across the [`pelican_runtime`] pool: each column's
+//! sum is accumulated row-ascending by exactly one worker, the same order as
+//! the serial loop, so results are bit-identical at every worker count.
 
-use crate::{ShapeError, Tensor};
+use crate::{ShapeError, Tensor, PARALLEL_FLOP_THRESHOLD};
+use pelican_runtime::{current_exec, Pool};
+
+/// Accumulates columns `col0..col0+out.len()` of the row-major `m×n` matrix
+/// `data` into `out`, iterating rows in ascending order (the serial order).
+fn sum_cols(data: &[f32], out: &mut [f32], n: usize, col0: usize) {
+    let cols = out.len();
+    for row in data.chunks(n) {
+        for (o, &v) in out.iter_mut().zip(&row[col0..col0 + cols]) {
+            *o += v;
+        }
+    }
+}
 
 impl Tensor {
     /// Sum of all elements.
@@ -37,12 +54,20 @@ impl Tensor {
         if self.rank() != 2 {
             return Err(ShapeError::new("sum_axis0", self.shape(), &[2]));
         }
-        let n = self.shape()[1];
+        let (m, n) = (self.shape()[0], self.shape()[1]);
         let mut out = vec![0.0f32; n];
-        for row in self.as_slice().chunks(n) {
-            for (o, &v) in out.iter_mut().zip(row) {
-                *o += v;
-            }
+        let exec = current_exec();
+        let engage = exec.workers >= 2
+            && n >= 2
+            && (m * n >= PARALLEL_FLOP_THRESHOLD || exec.force_parallel);
+        if engage {
+            let workers = exec.workers.min(n);
+            let chunk_cols = n.div_ceil(workers);
+            Pool::new(workers).scope_chunks(&mut out, chunk_cols, |idx, chunk| {
+                sum_cols(self.as_slice(), chunk, n, idx * chunk_cols);
+            });
+        } else {
+            sum_cols(self.as_slice(), &mut out, n, 0);
         }
         Tensor::from_vec(vec![n], out)
     }
@@ -176,6 +201,18 @@ mod tests {
         let var = a.var_axis0().unwrap();
         assert_eq!(var.as_slice(), &[2.25, 2.25, 2.25]);
         assert!(Tensor::zeros(vec![3]).sum_axis0().is_err());
+    }
+
+    #[test]
+    fn forced_parallel_sum_axis0_bit_matches_serial() {
+        use pelican_runtime::{with_exec, ExecConfig};
+        let a = t(vec![9, 5], (0..45).map(|v| (v as f32).sin() * 3.7).collect());
+        let serial = with_exec(ExecConfig::serial(), || a.sum_axis0().unwrap());
+        for workers in [2usize, 3, 7] {
+            let cfg = ExecConfig { workers, force_parallel: true };
+            let par = with_exec(cfg, || a.sum_axis0().unwrap());
+            assert_eq!(par.as_slice(), serial.as_slice(), "sum_axis0 @ {workers}");
+        }
     }
 
     #[test]

@@ -1,10 +1,23 @@
 #!/usr/bin/env bash
-# Full local gate: release build, the complete test suite, and clippy
-# with warnings promoted to errors. Run from anywhere inside the repo.
+# Full local gate: release build, the complete test suite at both ends of
+# the worker-count range, and clippy with warnings promoted to errors.
+# Run from anywhere inside the repo.
+#
+# The suite runs twice — PELICAN_THREADS=1 (pure serial paths) and
+# PELICAN_THREADS=4 (pooled kernels, concurrent folds, parallel window
+# scoring) — because the engine's contract is that both produce identical
+# results. Set PELICAN_BENCH=1 to also run the parallel-scaling bench
+# (writes BENCH_parallel.json at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
-cargo test -q
+echo "== tests @ PELICAN_THREADS=1 =="
+PELICAN_THREADS=1 cargo test -q
+echo "== tests @ PELICAN_THREADS=4 =="
+PELICAN_THREADS=4 cargo test -q
 cargo clippy --all-targets -- -D warnings
+if [[ "${PELICAN_BENCH:-0}" == "1" ]]; then
+    cargo bench -p pelican-bench --bench bench_parallel_scaling
+fi
 echo "all checks passed"

@@ -6,6 +6,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |---|---|---|
+//! | [`runtime`] | `pelican-runtime` | worker pool, deterministic reductions, `PELICAN_THREADS` |
 //! | [`tensor`] | `pelican-tensor` | dense f32 tensors, matmul, seeded RNG |
 //! | [`nn`] | `pelican-nn` | layers, losses, optimizers, training loop |
 //! | [`data`] | `pelican-data` | synthetic NSL-KDD / UNSW-NB15, preprocessing, k-fold |
@@ -43,6 +44,7 @@ pub use pelican_core as core;
 pub use pelican_data as data;
 pub use pelican_ml as ml;
 pub use pelican_nn as nn;
+pub use pelican_runtime as runtime;
 pub use pelican_simulator as simulator;
 pub use pelican_tensor as tensor;
 
@@ -57,6 +59,7 @@ pub mod prelude {
     pub use pelican_data::{KFold, OneHotEncoder, RawDataset, Standardizer};
     pub use pelican_ml::Classifier;
     pub use pelican_nn::{Layer, Mode, Sequential, Trainer, TrainerConfig};
+    pub use pelican_runtime::{tree_reduce, with_workers, ExecConfig, Pool};
     pub use pelican_tensor::{SeededRng, Tensor};
 }
 

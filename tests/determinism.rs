@@ -1,6 +1,12 @@
 //! Reproducibility: every stochastic component is seeded, so identical
 //! configurations give identical results — the property that makes the
 //! benchmark tables stable.
+//!
+//! The parallel execution engine extends the property across thread
+//! counts: kernels partition *outputs* (never floating-point reduction
+//! order), so training histories, k-fold metrics and checkpoints are
+//! bit-identical at 1 and N workers — including a kill-and-resume where
+//! the thread count changes across the restart.
 
 use pelican::prelude::*;
 
@@ -59,6 +65,181 @@ fn dataset_generation_is_stable_across_processes() {
     let again = pelican::data::nslkdd::generate(3, 42);
     assert_eq!(labels, again.labels());
     assert_eq!(raw.records(), again.records());
+}
+
+/// A short real training run (synthetic NSL-KDD, one residual block)
+/// driven at an explicit thread count via `TrainerConfig::threads`.
+fn short_training_run(threads: usize) -> (Vec<pelican::nn::EpochStats>, Vec<u8>) {
+    use pelican::nn::io::params_to_bytes;
+    use pelican::nn::loss::SoftmaxCrossEntropy;
+    use pelican::nn::optim::RmsProp;
+
+    let cfg = ExpConfig {
+        dataset: DatasetKind::NslKdd,
+        samples: 120,
+        epochs: 2,
+        batch_size: 32,
+        learning_rate: 0.01,
+        kernel: 10,
+        dropout: 0.5,
+        test_fraction: 0.2,
+        seed: 23,
+    };
+    let split = prepare_split(&cfg);
+    let mut net = build_network(&NetConfig {
+        in_features: cfg.dataset.encoded_width(),
+        classes: cfg.dataset.classes(),
+        blocks: 1,
+        residual: true,
+        kernel: cfg.kernel,
+        dropout: cfg.dropout,
+        seed: cfg.seed,
+    });
+    let trainer = Trainer::new(TrainerConfig {
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        shuffle_seed: 17,
+        threads: Some(threads),
+        ..Default::default()
+    });
+    let history = trainer
+        .fit(
+            &mut net,
+            &SoftmaxCrossEntropy,
+            &mut RmsProp::new(cfg.learning_rate),
+            &split.x_train,
+            &split.y_train,
+            Some((&split.x_test, &split.y_test)),
+        )
+        .expect("training");
+    (history.epochs, params_to_bytes(&mut net).to_vec())
+}
+
+#[test]
+fn training_is_bit_identical_across_thread_counts() {
+    let (epochs_1, params_1) = short_training_run(1);
+    for threads in [2usize, 4] {
+        let (epochs_n, params_n) = short_training_run(threads);
+        assert_eq!(
+            epochs_n, epochs_1,
+            "history diverged at {threads} threads"
+        );
+        assert_eq!(
+            params_n, params_1,
+            "trained parameters diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn kfold_cv_is_identical_across_thread_counts() {
+    let cfg = ExpConfig {
+        dataset: DatasetKind::NslKdd,
+        samples: 100,
+        epochs: 1,
+        batch_size: 25,
+        learning_rate: 0.01,
+        kernel: 10,
+        dropout: 0.4,
+        test_fraction: 0.1, // ignored by run_kfold
+        seed: 31,
+    };
+    let arch = Arch::Residual { blocks: 1 };
+    let serial = with_workers(1, || run_kfold(arch, &cfg, 10));
+    for threads in [2usize, 4] {
+        let par = with_workers(threads, || run_kfold(arch, &cfg, 10));
+        assert_eq!(par.folds.len(), serial.folds.len());
+        assert_eq!(par.total, serial.total, "total confusion @ {threads} threads");
+        assert_eq!(
+            par.mean_multiclass_acc, serial.mean_multiclass_acc,
+            "mean accuracy @ {threads} threads"
+        );
+        for (fold, (p, s)) in par.folds.iter().zip(&serial.folds).enumerate() {
+            assert_eq!(
+                p.confusion, s.confusion,
+                "fold {fold} confusion @ {threads} threads"
+            );
+            assert_eq!(
+                p.history.epochs, s.history.epochs,
+                "fold {fold} history @ {threads} threads"
+            );
+            assert_eq!(
+                p.multiclass_acc, s.multiclass_acc,
+                "fold {fold} accuracy @ {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn kill_and_resume_is_bit_exact_across_thread_count_change() {
+    use pelican::nn::io::params_to_bytes;
+    use pelican::nn::loss::SoftmaxCrossEntropy;
+    use pelican::nn::optim::RmsProp;
+    use pelican::nn::{Activation, ActivationKind, Dense};
+
+    // Two-feature blobs, as in the trainer's own resume test.
+    let mut rng = SeededRng::new(40);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for i in 0..40 {
+        let class = i % 2;
+        let centre = if class == 0 { -2.0 } else { 2.0 };
+        rows.push(vec![
+            rng.normal_with(centre, 0.5),
+            rng.normal_with(-centre, 0.5),
+        ]);
+        labels.push(class);
+    }
+    let x = Tensor::from_rows(&rows).unwrap();
+
+    let fresh_net = || {
+        let mut rng = SeededRng::new(9);
+        let mut net = Sequential::new();
+        net.push(Dense::new(2, 4, &mut rng));
+        net.push(Activation::new(ActivationKind::Relu));
+        net.push(Dense::new(4, 2, &mut rng));
+        net
+    };
+    let config = |epochs: usize, threads: usize, dir: &std::path::Path| TrainerConfig {
+        epochs,
+        batch_size: 8,
+        shuffle_seed: 5,
+        threads: Some(threads),
+        checkpoint_dir: Some(dir.to_path_buf()),
+        ..Default::default()
+    };
+    let dir_a = std::env::temp_dir().join("pelican-par-resume-a");
+    let dir_b = std::env::temp_dir().join("pelican-par-resume-b");
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
+
+    // Uninterrupted serial 6-epoch run.
+    let mut a = fresh_net();
+    Trainer::new(config(6, 1, &dir_a))
+        .fit(&mut a, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &labels, None)
+        .expect("run A");
+
+    // Killed after 3 epochs at 4 threads; resumed to 6 at 1 thread —
+    // the v2 checkpoint carries no trace of the worker count, and the
+    // kernels are bit-stable across it, so the restart must land on the
+    // exact same parameters.
+    let mut b = fresh_net();
+    Trainer::new(config(3, 4, &dir_b))
+        .fit(&mut b, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &labels, None)
+        .expect("run B part 1");
+    let mut b2 = fresh_net();
+    let hist = Trainer::new(config(6, 1, &dir_b))
+        .fit(&mut b2, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &labels, None)
+        .expect("run B part 2");
+    assert_eq!(hist.resumed_from_epoch, Some(3));
+    assert_eq!(
+        params_to_bytes(&mut a),
+        params_to_bytes(&mut b2),
+        "thread-count change across restart broke bit-exactness"
+    );
+    std::fs::remove_dir_all(&dir_a).ok();
+    std::fs::remove_dir_all(&dir_b).ok();
 }
 
 #[test]
