@@ -19,7 +19,10 @@ fn main() {
     let mut test_acc = Vec::new();
     for &blocks in &depths {
         let arch = Arch::Plain { blocks };
-        eprintln!("[fig2] LuNet with {} parameter layers …", arch.param_layers());
+        eprintln!(
+            "[fig2] LuNet with {} parameter layers …",
+            arch.param_layers()
+        );
         let r = cached_run(arch, &cfg);
         let last = r.history.epochs.last().expect("at least one epoch");
         layers.push(arch.param_layers() as f32);
@@ -28,7 +31,10 @@ fn main() {
     }
     println!("parameter_layers,train_accuracy,test_accuracy");
     for i in 0..depths.len() {
-        println!("{},{:.4},{:.4}", layers[i] as usize, train_acc[i], test_acc[i]);
+        println!(
+            "{},{:.4},{:.4}",
+            layers[i] as usize, train_acc[i], test_acc[i]
+        );
     }
     let _ = render_series; // series helper used by the fig5 benches
 

@@ -42,9 +42,7 @@ fn bench_layers(c: &mut Criterion) {
         bench.iter(|| conv.forward(&x, Mode::Train))
     });
     let dy = conv.forward(&x, Mode::Train);
-    c.bench_function("conv1d_backward", |bench| {
-        bench.iter(|| conv.backward(&dy))
-    });
+    c.bench_function("conv1d_backward", |bench| bench.iter(|| conv.backward(&dy)));
 
     let mut gru = Gru::new(F, F, &mut rng);
     c.bench_function("gru_forward_seq1", |bench| {

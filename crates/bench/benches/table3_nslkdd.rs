@@ -21,10 +21,7 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(
-            &["Structure", "DR%", "ACC%", "FAR%", "binary ACC%"],
-            &rows
-        )
+        render_table(&["Structure", "DR%", "ACC%", "FAR%", "binary ACC%"], &rows)
     );
     println!(
         "\nPaper:  Plain-21 98.70/98.92/0.80, Plain-41 97.56/98.37/0.67,\n\

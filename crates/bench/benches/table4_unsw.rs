@@ -21,10 +21,7 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(
-            &["Structure", "DR%", "ACC%", "FAR%", "binary ACC%"],
-            &rows
-        )
+        render_table(&["Structure", "DR%", "ACC%", "FAR%", "binary ACC%"], &rows)
     );
     println!(
         "\nPaper:  Plain-21 97.42/85.76/2.37, Plain-41 93.73/82.33/4.29,\n\

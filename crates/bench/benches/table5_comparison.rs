@@ -8,13 +8,11 @@ use pelican_core::models::{
     cnn_baseline, hast_ids, lstm_baseline, lunet, mlp_baseline, NeuralClassifier,
 };
 use pelican_core::{Confusion, ConfusionMatrix};
-use pelican_ml::{AdaBoost, AdaBoostConfig, Classifier, RandomForest, RandomForestConfig, Svm, SvmConfig};
+use pelican_ml::{
+    AdaBoost, AdaBoostConfig, Classifier, RandomForest, RandomForestConfig, Svm, SvmConfig,
+};
 
-fn evaluate(
-    name: &str,
-    clf: &mut dyn Classifier,
-    split: &pelican_data::EncodedSplit,
-) -> Row {
+fn evaluate(name: &str, clf: &mut dyn Classifier, split: &pelican_data::EncodedSplit) -> Row {
     eprintln!("[table5] training {name} …");
     clf.fit(&split.x_train, &split.y_train);
     let preds = clf.predict(&split.x_test);
@@ -115,7 +113,10 @@ fn main() {
             ]
         })
         .collect();
-    print!("{}", render_table(&["Design", "DR%", "ACC%", "FAR%"], &table));
+    print!(
+        "{}",
+        render_table(&["Design", "DR%", "ACC%", "FAR%"], &table)
+    );
     println!(
         "\nPaper (DR/ACC/FAR): AdaBoost 91.13/73.19/22.11, SVM 83.71/74.80/7.73,\n\
          HAST-IDS 93.65/80.03/9.60, CNN 92.28/82.13/3.84, LSTM 92.76/82.40/3.63,\n\

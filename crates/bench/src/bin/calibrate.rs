@@ -14,7 +14,11 @@ fn main() {
     let residual = args.get(3).map(String::as_str) != Some("plain");
     let cfg = ExpConfig::scaled(dataset);
     eprintln!("config: {cfg:?}");
-    let arch = if residual { Arch::Residual { blocks } } else { Arch::Plain { blocks } };
+    let arch = if residual {
+        Arch::Residual { blocks }
+    } else {
+        Arch::Plain { blocks }
+    };
     let t0 = Instant::now();
     let r = run_network(arch, &cfg);
     let dt = t0.elapsed();

@@ -135,7 +135,10 @@ mod tests {
     fn same_seed_same_parameter_count_plain_vs_residual() {
         let mut p = plain_block(&cfg());
         let mut r = res_blk(&cfg());
-        assert_eq!(p.param_count(), r.params_mut().iter().map(|q| q.len()).sum());
+        assert_eq!(
+            p.param_count(),
+            r.params_mut().iter().map(|q| q.len()).sum()
+        );
     }
 
     #[test]

@@ -394,7 +394,9 @@ pub fn run_kfold(arch: Arch, cfg: &ExpConfig, k: usize) -> KFoldResult {
         // Worker threads carry no execution override; pin the fold's own
         // kernels to the serial path so k concurrent folds cannot
         // oversubscribe the machine.
-        with_workers(1, || run_fold(arch, cfg, &raw, fold_id, train_idx, test_idx))
+        with_workers(1, || {
+            run_fold(arch, cfg, &raw, fold_id, train_idx, test_idx)
+        })
     });
     let total = tree_reduce(folds.iter().map(|f| f.confusion).collect(), |mut a, b| {
         a.merge(&b);
@@ -418,9 +420,8 @@ fn cache_dir() -> PathBuf {
     // working directory: cargo runs bench/test binaries from their own
     // package roots, and a relative "target" would scatter caches (and
     // worse, survive a `rm -rf target/pelican-cache` at the root).
-    let target = std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| {
-        concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string()
-    });
+    let target = std::env::var("CARGO_TARGET_DIR")
+        .unwrap_or_else(|_| concat!(env!("CARGO_MANIFEST_DIR"), "/../../target").to_string());
     PathBuf::from(target).join("pelican-cache")
 }
 

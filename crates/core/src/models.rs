@@ -7,8 +7,8 @@ use pelican_ml::Classifier;
 use pelican_nn::loss::SoftmaxCrossEntropy;
 use pelican_nn::optim::RmsProp;
 use pelican_nn::{
-    predict, Activation, ActivationKind, Conv1d, Dense, Dropout, GlobalAvgPool1d, Lstm,
-    Reshape, Sequential, Trainer, TrainerConfig,
+    predict, Activation, ActivationKind, Conv1d, Dense, Dropout, GlobalAvgPool1d, Lstm, Reshape,
+    Sequential, Trainer, TrainerConfig,
 };
 use pelican_tensor::{SeededRng, Tensor};
 
@@ -276,7 +276,12 @@ mod tests {
         ];
         for net in &mut nets {
             let y = net.forward(&x, Mode::Eval);
-            assert_eq!(y.shape(), &[2, 3], "bad logits from {:?}", net.layer_names());
+            assert_eq!(
+                y.shape(),
+                &[2, 3],
+                "bad logits from {:?}",
+                net.layer_names()
+            );
         }
     }
 

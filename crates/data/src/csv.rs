@@ -245,7 +245,11 @@ impl fmt::Display for QuarantineReport {
             write!(f, "\n  line {}: {}", s.line, s.reason)?;
         }
         if self.quarantined > self.samples.len() {
-            write!(f, "\n  … and {} more", self.quarantined - self.samples.len())?;
+            write!(
+                f,
+                "\n  … and {} more",
+                self.quarantined - self.samples.len()
+            )?;
         }
         Ok(())
     }
@@ -332,8 +336,17 @@ pub fn read_csv(
 /// to `None`.
 pub fn nslkdd_label(name: &str) -> Option<usize> {
     const DOS: &[&str] = &[
-        "back", "land", "neptune", "pod", "smurf", "teardrop", "apache2", "udpstorm",
-        "processtable", "worm", "mailbomb",
+        "back",
+        "land",
+        "neptune",
+        "pod",
+        "smurf",
+        "teardrop",
+        "apache2",
+        "udpstorm",
+        "processtable",
+        "worm",
+        "mailbomb",
     ];
     const PROBE: &[&str] = &["satan", "ipsweep", "nmap", "portsweep", "mscan", "saint"];
     const R2L: &[&str] = &[
@@ -411,7 +424,9 @@ mod tests {
         let original = nslkdd::generate(25, 7);
         let text = to_csv(&original);
         let parsed = from_csv(original.schema(), &text, |name| {
-            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(name))
+            nslkdd::CLASSES
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(name))
         })
         .expect("parse");
         assert_eq!(parsed.len(), original.len());
@@ -481,7 +496,9 @@ mod tests {
         let ds = nslkdd::generate(2, 3);
         let text = format!("\n{}\n\n", to_csv(&ds));
         let parsed = from_csv(ds.schema(), &text, |n| {
-            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+            nslkdd::CLASSES
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(n))
         })
         .unwrap();
         assert_eq!(parsed.len(), 2);
@@ -504,7 +521,9 @@ mod tests {
         let text = lines.join("\n");
 
         let (parsed, report) = from_csv_lenient(ds.schema(), &text, |n| {
-            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+            nslkdd::CLASSES
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(n))
         });
         assert_eq!(parsed.len(), 3);
         assert_eq!(report.parsed, 3);
@@ -516,10 +535,15 @@ mod tests {
         assert!(report.samples[0].reason.contains("fields"), "{report}");
         assert_eq!(report.samples[1].line, 4);
         assert_eq!(report.samples[2].line, 6);
-        assert!(report.samples[2].reason.contains("unresolvable"), "{report}");
+        assert!(
+            report.samples[2].reason.contains("unresolvable"),
+            "{report}"
+        );
         // And strict mode still aborts on the same input.
         assert!(from_csv(ds.schema(), &text, |n| {
-            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+            nslkdd::CLASSES
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(n))
         })
         .is_err());
     }
@@ -540,7 +564,11 @@ mod tests {
     fn lenient_on_clean_input_matches_strict() {
         let ds = nslkdd::generate(8, 2);
         let text = to_csv(&ds);
-        let resolve = |n: &str| nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n));
+        let resolve = |n: &str| {
+            nslkdd::CLASSES
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(n))
+        };
         let strict = from_csv(ds.schema(), &text, resolve).unwrap();
         let (lenient, report) = from_csv_lenient(ds.schema(), &text, resolve);
         assert_eq!(lenient.len(), strict.len());
@@ -575,7 +603,9 @@ mod tests {
         text.push_str("trailing,garbage,row\n");
         std::fs::write(&path, &text).unwrap();
         let (parsed, report) = read_csv_lenient(ds.schema(), &path, |n| {
-            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+            nslkdd::CLASSES
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(n))
         })
         .unwrap();
         assert_eq!(parsed.len(), 5);
@@ -611,7 +641,9 @@ mod tests {
         let ds = nslkdd::generate(10, 9);
         write_csv(&ds, &path).unwrap();
         let parsed = read_csv(ds.schema(), &path, |n| {
-            nslkdd::CLASSES.iter().position(|c| c.eq_ignore_ascii_case(n))
+            nslkdd::CLASSES
+                .iter()
+                .position(|c| c.eq_ignore_ascii_case(n))
         })
         .unwrap();
         assert_eq!(parsed.len(), 10);

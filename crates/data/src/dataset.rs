@@ -198,11 +198,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "kind mismatch")]
     fn kind_mismatch_panics() {
-        RawDataset::new(
-            schema(),
-            vec![vec![Value::Cat(0), Value::Cat(0)]],
-            vec![0],
-        );
+        RawDataset::new(schema(), vec![vec![Value::Cat(0), Value::Cat(0)]], vec![0]);
     }
 
     #[test]

@@ -36,8 +36,8 @@ pub mod csv;
 
 mod dataset;
 mod kfold;
-mod sampling;
 mod preprocess;
+mod sampling;
 mod schema;
 mod synth;
 

@@ -116,7 +116,10 @@ fn feature_table() -> Vec<(FeatureSpec, NumericStyle)> {
             FeatureSpec::categorical("protocol_type", vocab(&["tcp", "udp", "icmp"])),
             Gaussian,
         ),
-        (FeatureSpec::categorical("service", vocab(&SERVICES)), Gaussian),
+        (
+            FeatureSpec::categorical("service", vocab(&SERVICES)),
+            Gaussian,
+        ),
         (FeatureSpec::categorical("flag", vocab(&FLAGS)), Gaussian),
         num("src_bytes", LogScale),
         num("dst_bytes", LogScale),

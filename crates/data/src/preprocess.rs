@@ -244,9 +244,7 @@ mod tests {
         // protocol_type occupies columns offsets[1]..offsets[1]+3.
         let proto_off = 1; // after `duration`
         for row in 0..20 {
-            let s: f32 = (0..3)
-                .map(|k| x.get(&[row, proto_off + k]))
-                .sum();
+            let s: f32 = (0..3).map(|k| x.get(&[row, proto_off + k])).sum();
             assert_eq!(s, 1.0, "row {row} protocol one-hot sum");
         }
     }

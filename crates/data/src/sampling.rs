@@ -103,8 +103,7 @@ pub fn inverse_frequency_weights(labels: &[usize], classes: usize) -> Vec<f32> {
         .collect();
     // Normalise present-class mean to 1 (already is by construction, but
     // guard against float drift).
-    let mean: f32 =
-        weights.iter().filter(|w| **w > 0.0).sum::<f32>() / present as f32;
+    let mean: f32 = weights.iter().filter(|w| **w > 0.0).sum::<f32>() / present as f32;
     if mean > 0.0 {
         weights.iter_mut().for_each(|w| *w /= mean);
     }
@@ -128,7 +127,8 @@ mod tests {
         let labels = labels();
         let (train, test) = stratified_holdout(&labels, 0.2, 7);
         assert_eq!(train.len() + test.len(), 100);
-        let count = |idx: &[usize], class: usize| idx.iter().filter(|&&i| labels[i] == class).count();
+        let count =
+            |idx: &[usize], class: usize| idx.iter().filter(|&&i| labels[i] == class).count();
         assert_eq!(count(&test, 0), 12);
         assert_eq!(count(&test, 1), 6);
         assert_eq!(count(&test, 2), 2);

@@ -52,10 +52,46 @@ const SERVICES: [&str; 13] = [
 /// protocols filling out to the 133 distinct values of the real corpus.
 fn proto_vocab() -> Vec<String> {
     let named = [
-        "tcp", "udp", "arp", "icmp", "igmp", "ospf", "sctp", "gre", "ggp", "ip", "ipnip", "st2",
-        "argus", "chaos", "egp", "emcon", "nvp", "pup", "xnet", "mux", "dcn", "hmp", "prm",
-        "trunk-1", "trunk-2", "xns-idp", "leaf-1", "leaf-2", "irtp", "rdp", "netblt", "mfe-nsp",
-        "merit-inp", "sep", "3pc", "idpr", "xtp", "ddp", "idpr-cmtp", "tp++",
+        "tcp",
+        "udp",
+        "arp",
+        "icmp",
+        "igmp",
+        "ospf",
+        "sctp",
+        "gre",
+        "ggp",
+        "ip",
+        "ipnip",
+        "st2",
+        "argus",
+        "chaos",
+        "egp",
+        "emcon",
+        "nvp",
+        "pup",
+        "xnet",
+        "mux",
+        "dcn",
+        "hmp",
+        "prm",
+        "trunk-1",
+        "trunk-2",
+        "xns-idp",
+        "leaf-1",
+        "leaf-2",
+        "irtp",
+        "rdp",
+        "netblt",
+        "mfe-nsp",
+        "merit-inp",
+        "sep",
+        "3pc",
+        "idpr",
+        "xtp",
+        "ddp",
+        "idpr-cmtp",
+        "tp++",
     ];
     let mut vocab: Vec<String> = named.iter().map(|s| s.to_string()).collect();
     let mut i = 0;
@@ -76,7 +112,10 @@ fn feature_table() -> Vec<(FeatureSpec, NumericStyle)> {
     vec![
         num("dur", LogScale),
         (FeatureSpec::categorical("proto", proto_vocab()), Gaussian),
-        (FeatureSpec::categorical("service", vocab(&SERVICES)), Gaussian),
+        (
+            FeatureSpec::categorical("service", vocab(&SERVICES)),
+            Gaussian,
+        ),
         (FeatureSpec::categorical("state", vocab(&STATES)), Gaussian),
         num("spkts", LogScale),
         num("dpkts", LogScale),

@@ -154,7 +154,10 @@ mod tests {
         let mut knn = Knn::new(KnnConfig { k: 50 });
         knn.fit(&x, &[0, 1]);
         // Both points vote; inverse-distance tiebreak favours the closer.
-        assert_eq!(knn.predict(&Tensor::from_vec(vec![1, 1], vec![1.0]).unwrap()), vec![0]);
+        assert_eq!(
+            knn.predict(&Tensor::from_vec(vec![1, 1], vec![1.0]).unwrap()),
+            vec![0]
+        );
     }
 
     #[test]

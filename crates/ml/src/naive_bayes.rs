@@ -104,9 +104,7 @@ impl Classifier for GaussianNb {
                     .map(|(c, stats)| {
                         let mut log_p = stats.log_prior;
                         if log_p.is_finite() {
-                            for ((&v, &mu), &var) in
-                                q.iter().zip(&stats.mean).zip(&stats.var)
-                            {
+                            for ((&v, &mu), &var) in q.iter().zip(&stats.mean).zip(&stats.var) {
                                 let diff = v - mu;
                                 log_p -= 0.5 * (diff * diff / var + var.ln());
                             }

@@ -55,11 +55,7 @@ impl BinaryMachine {
         let mut sum = self.bias;
         for (k, c) in self.coef.iter().enumerate() {
             let sr = &self.sv.as_slice()[k * d..(k + 1) * d];
-            let dist: f32 = xr
-                .iter()
-                .zip(sr)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let dist: f32 = xr.iter().zip(sr).map(|(a, b)| (a - b) * (a - b)).sum();
             sum += c * (-gamma * dist).exp();
         }
         sum

@@ -131,7 +131,10 @@ impl DecisionTree {
         if total <= 0.0 {
             return 0.0;
         }
-        1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f32>()
+        1.0 - counts
+            .iter()
+            .map(|&c| (c / total) * (c / total))
+            .sum::<f32>()
     }
 
     fn majority(counts: &[f32]) -> usize {
@@ -400,7 +403,12 @@ mod tests {
             ..Default::default()
         });
         tree.fit(&x, &y);
-        let acc = tree.predict(&x).iter().zip(&y).filter(|(p, t)| p == t).count();
+        let acc = tree
+            .predict(&x)
+            .iter()
+            .zip(&y)
+            .filter(|(p, t)| p == t)
+            .count();
         assert!(acc >= 950, "quantile split badly placed: {acc}/1000");
     }
 

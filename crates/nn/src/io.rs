@@ -180,7 +180,9 @@ fn read_shape(buf: &mut &[u8], what: &str) -> Result<Vec<usize>, IoError> {
     }
     let rank = buf.get_u32_le() as usize;
     if rank > 8 {
-        return Err(IoError::Format(format!("implausible rank {rank} for {what}")));
+        return Err(IoError::Format(format!(
+            "implausible rank {rank} for {what}"
+        )));
     }
     if buf.remaining() < rank * 4 {
         return Err(IoError::Format(format!("truncated shape of {what}")));

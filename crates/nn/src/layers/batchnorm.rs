@@ -104,8 +104,11 @@ impl Layer for BatchNorm {
             Mode::Train => {
                 let mean = flat.mean_axis0().expect("bn mean");
                 let var = flat.var_axis0().expect("bn var");
-                let inv_std: Vec<f32> =
-                    var.as_slice().iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
+                let inv_std: Vec<f32> = var
+                    .as_slice()
+                    .iter()
+                    .map(|v| 1.0 / (v + self.eps).sqrt())
+                    .collect();
 
                 let mut xhat = flat.clone();
                 for row in xhat.as_mut_slice().chunks_mut(c) {
@@ -180,18 +183,12 @@ impl Layer for BatchNorm {
         let shape = cache.input_shape.clone();
         let (b, t, _) = btc(&shape);
         let m = (b * t) as f32;
-        let dy = grad_out
-            .reshape(vec![b * t, c])
-            .expect("bn grad flatten");
+        let dy = grad_out.reshape(vec![b * t, c]).expect("bn grad flatten");
 
         // Per-channel reductions.
         let mut sum_dy = vec![0.0f32; c];
         let mut sum_dy_xhat = vec![0.0f32; c];
-        for (row, xrow) in dy
-            .as_slice()
-            .chunks(c)
-            .zip(cache.xhat.as_slice().chunks(c))
-        {
+        for (row, xrow) in dy.as_slice().chunks(c).zip(cache.xhat.as_slice().chunks(c)) {
             for j in 0..c {
                 sum_dy[j] += row[j];
                 sum_dy_xhat[j] += row[j] * xrow[j];

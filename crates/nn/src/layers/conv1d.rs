@@ -40,7 +40,12 @@ impl Conv1d {
     /// # Panics
     ///
     /// Panics if `kernel == 0`.
-    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, rng: &mut SeededRng) -> Self {
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        rng: &mut SeededRng,
+    ) -> Self {
         assert!(kernel > 0, "kernel size must be positive");
         let fan_in = kernel * in_channels;
         let fan_out = kernel * out_channels;
@@ -82,16 +87,14 @@ impl Layer for Conv1d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let (b, t, c) = btc(input.shape());
         assert_eq!(c, self.in_channels, "conv1d channel mismatch");
-        let rank3 = input
-            .reshape(vec![b, t, c])
-            .expect("conv input promote");
+        let rank3 = input.reshape(vec![b, t, c]).expect("conv input promote");
         let pad = self.pad_left();
 
         let flat_in = rank3.reshape(vec![b * t, c]).expect("conv flatten");
         let mut out = Tensor::zeros(vec![b * t, self.out_channels]);
         for k in 0..self.kernel {
             let shift = k as isize - pad; // x index = t_out + shift
-            // Valid output positions: 0 <= t_out + shift < t.
+                                          // Valid output positions: 0 <= t_out + shift < t.
             let t_lo = (-shift).max(0) as usize;
             let t_hi = ((t as isize - shift).min(t as isize)).max(0) as usize;
             if t_lo >= t_hi {
@@ -120,14 +123,12 @@ impl Layer for Conv1d {
         }
         out.add_row_bias(&self.bias.value).expect("conv bias");
         self.input = Some(rank3);
-        out.reshape(vec![b, t, self.out_channels]).expect("conv out")
+        out.reshape(vec![b, t, self.out_channels])
+            .expect("conv out")
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let input = self
-            .input
-            .as_ref()
-            .expect("conv1d backward before forward");
+        let input = self.input.as_ref().expect("conv1d backward before forward");
         let (b, t, c) = btc(input.shape());
         let pad = self.pad_left();
         let flat_in = input.reshape(vec![b * t, c]).expect("conv flatten");

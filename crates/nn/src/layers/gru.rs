@@ -115,7 +115,8 @@ fn act(x: &Tensor, k: ActivationKind) -> Tensor {
 /// Elementwise derivative-of-activation at the cached pre-activation,
 /// multiplied by the incoming gradient.
 fn act_grad(pre: &Tensor, g: &Tensor, k: ActivationKind) -> Tensor {
-    pre.zip_map(g, |x, gv| gv * k.derivative(x)).expect("act grad")
+    pre.zip_map(g, |x, gv| gv * k.derivative(x))
+        .expect("act grad")
 }
 
 impl Layer for Gru {
@@ -181,9 +182,7 @@ impl Layer for Gru {
         let shape = self.input_shape.clone().expect("gru input shape");
         let (b, t, c) = btc(&shape);
         let u = self.units;
-        let dy = grad_out
-            .reshape(vec![b * t, u])
-            .expect("gru grad flatten");
+        let dy = grad_out.reshape(vec![b * t, u]).expect("gru grad flatten");
 
         let mut dx = Tensor::zeros(vec![b * t, c]);
         let mut dh_carry = Tensor::zeros(vec![b, u]);
@@ -198,13 +197,12 @@ impl Layer for Gru {
             let dz = dh
                 .zip_map(&step.h_prev, |g, hp| g * hp)
                 .expect("dz a")
-                .zip_map(&dh.zip_map(&step.hh, |g, hv| g * hv).expect("dz b"), |a, b| {
-                    a - b
-                })
+                .zip_map(
+                    &dh.zip_map(&step.hh, |g, hv| g * hv).expect("dz b"),
+                    |a, b| a - b,
+                )
                 .expect("dz");
-            let dhh = dh
-                .zip_map(&step.z, |g, zv| g * (1.0 - zv))
-                .expect("dhh");
+            let dhh = dh.zip_map(&step.z, |g, zv| g * (1.0 - zv)).expect("dhh");
             let mut dh_prev = dh.zip_map(&step.z, |g, zv| g * zv).expect("dh_prev direct");
 
             // Candidate: hh = tanh(hh_pre); d(hh_pre) = dhh ⊙ (1 - hh²).
@@ -214,9 +212,7 @@ impl Layer for Gru {
                 .expect("dhh_pre");
             // a = r ⊙ h_prev feeds hh_pre through U_h.
             let da = dhh_pre.matmul_bt(&self.whh.value).expect("da");
-            let dr = da
-                .zip_map(&step.h_prev, |g, hp| g * hp)
-                .expect("dr");
+            let dr = da.zip_map(&step.h_prev, |g, hp| g * hp).expect("dr");
             dh_prev
                 .add_assign(&da.zip_map(&step.r, |g, rv| g * rv).expect("dh via a"))
                 .expect("dh_prev accum");
@@ -331,7 +327,10 @@ mod tests {
         // h0 = (1 - 0.5)·tanh(5) ≈ 0.4999.
         assert!((y.as_slice()[0] - 0.5 * 5.0f32.tanh()).abs() < 1e-4);
         // h1 = z·h0 = 0.5·h0 (candidate is tanh(0) = 0).
-        assert!((y.as_slice()[1] - 0.25 * 5.0f32.tanh()).abs() < 1e-4, "{y:?}");
+        assert!(
+            (y.as_slice()[1] - 0.25 * 5.0f32.tanh()).abs() < 1e-4,
+            "{y:?}"
+        );
         // h2 = 0.5·h1.
         assert!((y.as_slice()[2] - 0.125 * 5.0f32.tanh()).abs() < 1e-4);
     }

@@ -91,7 +91,10 @@ impl Layer for LayerNorm {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("layernorm backward before forward");
+        let cache = self
+            .cache
+            .as_ref()
+            .expect("layernorm backward before forward");
         let shape = cache.input_shape.clone();
         let (b, t, c) = btc(&shape);
         let dy = grad_out.reshape(vec![b * t, c]).expect("ln grad flatten");
@@ -115,8 +118,7 @@ impl Layer for LayerNorm {
             }
             for j in 0..c {
                 let dxh = dyrow[j] * self.gamma.value.as_slice()[j];
-                dxrow[j] =
-                    cache.inv_std[ri] / cf * (cf * dxh - sum_dxh - xrow[j] * sum_dxh_xhat);
+                dxrow[j] = cache.inv_std[ri] / cf * (cf * dxh - sum_dxh - xrow[j] * sum_dxh_xhat);
             }
             // Parameter gradients accumulate across rows.
             for j in 0..c {

@@ -122,7 +122,9 @@ impl Layer for Lstm {
             let c_new = f
                 .zip_map(&c, |fv, cv| fv * cv)
                 .expect("f⊙c")
-                .zip_map(&i.zip_map(g, |iv, gv| iv * gv).expect("i⊙g"), |a, b| a + b)
+                .zip_map(&i.zip_map(g, |iv, gv| iv * gv).expect("i⊙g"), |a, b| {
+                    a + b
+                })
                 .expect("c update");
             let h_new = o
                 .zip_map(&c_new, |ov, cv| ov * cv.tanh())
@@ -154,7 +156,9 @@ impl Layer for Lstm {
         let shape = self.input_shape.clone().expect("lstm input shape");
         let (bsz, t, cin) = btc(&shape);
         let u = self.units;
-        let dy = grad_out.reshape(vec![bsz * t, u]).expect("lstm grad flatten");
+        let dy = grad_out
+            .reshape(vec![bsz * t, u])
+            .expect("lstm grad flatten");
 
         let mut dx = Tensor::zeros(vec![bsz * t, cin]);
         let mut dh_carry = Tensor::zeros(vec![bsz, u]);
@@ -185,10 +189,18 @@ impl Layer for Lstm {
 
             // Through the gate nonlinearities (using post-activation values:
             // σ' = s(1-s), tanh' = 1-g²).
-            let di_pre = di_post.zip_map(i, |gr, s| gr * s * (1.0 - s)).expect("di_pre");
-            let df_pre = df_post.zip_map(f, |gr, s| gr * s * (1.0 - s)).expect("df_pre");
-            let do_pre = do_post.zip_map(o, |gr, s| gr * s * (1.0 - s)).expect("do_pre");
-            let dg_pre = dg_post.zip_map(g, |gr, gv| gr * (1.0 - gv * gv)).expect("dg_pre");
+            let di_pre = di_post
+                .zip_map(i, |gr, s| gr * s * (1.0 - s))
+                .expect("di_pre");
+            let df_pre = df_post
+                .zip_map(f, |gr, s| gr * s * (1.0 - s))
+                .expect("df_pre");
+            let do_pre = do_post
+                .zip_map(o, |gr, s| gr * s * (1.0 - s))
+                .expect("do_pre");
+            let dg_pre = dg_post
+                .zip_map(g, |gr, gv| gr * (1.0 - gv * gv))
+                .expect("dg_pre");
             let pres = [&di_pre, &df_pre, &do_pre, &dg_pre];
 
             let mut dh_prev = Tensor::zeros(vec![bsz, u]);

@@ -10,8 +10,8 @@ pub mod layernorm;
 pub mod lstm;
 pub mod pool;
 pub mod reshape;
-pub mod rnn;
 pub mod residual;
+pub mod rnn;
 pub mod sequential;
 
 /// Splits a `[batch, time, channels]` (or `[batch, channels]`) shape into

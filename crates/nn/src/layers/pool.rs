@@ -89,7 +89,10 @@ impl Layer for MaxPool1d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("maxpool backward before forward");
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("maxpool backward before forward");
         let shape = self.input_shape.clone().expect("input shape cached");
         let mut dx = Tensor::zeros(shape);
         for (g, &idx) in grad_out.as_slice().iter().zip(argmax) {

@@ -47,11 +47,7 @@ impl SimpleRnn {
                 (in_channels, units),
                 rng,
             )),
-            wh: Param::new(Init::GlorotUniform.tensor(
-                vec![units, units],
-                (units, units),
-                rng,
-            )),
+            wh: Param::new(Init::GlorotUniform.tensor(vec![units, units], (units, units), rng)),
             b: Param::new(Tensor::zeros(vec![units])),
             in_channels,
             units,
@@ -106,7 +102,9 @@ impl Layer for SimpleRnn {
         let shape = self.input_shape.clone().expect("rnn input shape");
         let (bsz, t, c) = btc(&shape);
         let u = self.units;
-        let dy = grad_out.reshape(vec![bsz * t, u]).expect("rnn grad flatten");
+        let dy = grad_out
+            .reshape(vec![bsz * t, u])
+            .expect("rnn grad flatten");
 
         let mut dx = Tensor::zeros(vec![bsz * t, c]);
         let mut dh_carry = Tensor::zeros(vec![bsz, u]);

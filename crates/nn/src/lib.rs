@@ -56,8 +56,8 @@ pub use layers::layernorm::LayerNorm;
 pub use layers::lstm::Lstm;
 pub use layers::pool::{GlobalAvgPool1d, MaxPool1d};
 pub use layers::reshape::Reshape;
-pub use layers::rnn::SimpleRnn;
 pub use layers::residual::Residual;
+pub use layers::rnn::SimpleRnn;
 pub use layers::sequential::Sequential;
 pub use param::Param;
 pub use trainer::{

@@ -250,7 +250,10 @@ mod tests {
     fn rmsprop_first_step_is_lr_over_sqrt_one_minus_rho() {
         // cache = 0.1*g² → step = lr·g/(√(0.1·4)) = 0.01·2/0.6325 ≈ 0.0316.
         let v = one_step(&mut RmsProp::new(0.01));
-        assert!((v - (1.0 - 0.01 * 2.0 / (0.4f32).sqrt())).abs() < 1e-4, "{v}");
+        assert!(
+            (v - (1.0 - 0.01 * 2.0 / (0.4f32).sqrt())).abs() < 1e-4,
+            "{v}"
+        );
     }
 
     #[test]

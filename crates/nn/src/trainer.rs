@@ -373,11 +373,7 @@ impl Trainer {
                     start_epoch = meta.epoch + 1;
                     history.resumed_from_epoch = Some(meta.epoch);
                     if self.config.verbose {
-                        eprintln!(
-                            "resuming from {} (epoch {})",
-                            path.display(),
-                            meta.epoch
-                        );
+                        eprintln!("resuming from {} (epoch {})", path.display(), meta.epoch);
                     }
                 }
                 Ok(None) => {}
@@ -480,8 +476,7 @@ impl Trainer {
                 }
             }
 
-            if let (Some(patience), Some(eval_loss)) =
-                (self.config.early_stop_patience, test_loss)
+            if let (Some(patience), Some(eval_loss)) = (self.config.early_stop_patience, test_loss)
             {
                 if eval_loss < best_eval_loss - 1e-6 {
                     best_eval_loss = eval_loss;
@@ -677,7 +672,14 @@ mod tests {
             ..Default::default()
         });
         let hist = trainer
-            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None)
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.5),
+                &x,
+                &y,
+                None,
+            )
             .expect("training");
         assert!(hist.epochs.last().unwrap().train_acc > 0.95);
         // Loss decreases over training.
@@ -711,7 +713,11 @@ mod tests {
                 None,
             )
             .expect("training");
-        assert_eq!(hist.epochs.last().unwrap().train_acc, 1.0, "XOR not learned");
+        assert_eq!(
+            hist.epochs.last().unwrap().train_acc,
+            1.0,
+            "XOR not learned"
+        );
     }
 
     #[test]
@@ -752,7 +758,14 @@ mod tests {
             ..Default::default()
         });
         trainer
-            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None)
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.5),
+                &x,
+                &y,
+                None,
+            )
             .expect("training");
         let preds = predict(&mut net, &x, 7);
         let acc_pred = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f32 / y.len() as f32;
@@ -833,7 +846,14 @@ mod tests {
             ..Default::default()
         });
         let hist = trainer
-            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.0), &x, &y, None)
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.0),
+                &x,
+                &y,
+                None,
+            )
             .expect("training");
         assert_eq!(hist.epochs.len(), 5);
     }
@@ -853,7 +873,10 @@ mod tests {
         trainer
             .fit(&mut net, &SoftmaxCrossEntropy, &mut opt, &x, &y, None)
             .expect("training");
-        assert!((opt.learning_rate() - 0.1).abs() < 1e-6, "0.8 * 0.5^3 = 0.1");
+        assert!(
+            (opt.learning_rate() - 0.1).abs() < 1e-6,
+            "0.8 * 0.5^3 = 0.1"
+        );
     }
 
     #[test]
@@ -884,7 +907,14 @@ mod tests {
             ..Default::default()
         });
         let hist = trainer
-            .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.5), &x, &y, None)
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.5),
+                &x,
+                &y,
+                None,
+            )
             .expect("training");
         assert!(hist.epochs.last().unwrap().train_acc > 0.9);
     }
@@ -902,7 +932,14 @@ mod tests {
                 ..Default::default()
             });
             trainer
-                .fit(&mut net, &SoftmaxCrossEntropy, &mut Sgd::new(0.2), &x, &y, None)
+                .fit(
+                    &mut net,
+                    &SoftmaxCrossEntropy,
+                    &mut Sgd::new(0.2),
+                    &x,
+                    &y,
+                    None,
+                )
                 .expect("training")
                 .final_train_loss()
                 .unwrap()
@@ -1035,18 +1072,39 @@ mod tests {
         // Uninterrupted 6-epoch run.
         let mut a = fresh_net();
         Trainer::new(config(6, &dir_a))
-            .fit(&mut a, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &y, None)
+            .fit(
+                &mut a,
+                &SoftmaxCrossEntropy,
+                &mut RmsProp::new(0.01),
+                &x,
+                &y,
+                None,
+            )
             .expect("run A");
 
         // "Killed" after 3 epochs, then resumed to 6 with a fresh model
         // and optimizer.
         let mut b = fresh_net();
         Trainer::new(config(3, &dir_b))
-            .fit(&mut b, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &y, None)
+            .fit(
+                &mut b,
+                &SoftmaxCrossEntropy,
+                &mut RmsProp::new(0.01),
+                &x,
+                &y,
+                None,
+            )
             .expect("run B part 1");
         let mut b2 = fresh_net();
         let hist = Trainer::new(config(6, &dir_b))
-            .fit(&mut b2, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &y, None)
+            .fit(
+                &mut b2,
+                &SoftmaxCrossEntropy,
+                &mut RmsProp::new(0.01),
+                &x,
+                &y,
+                None,
+            )
             .expect("run B part 2");
         assert_eq!(hist.resumed_from_epoch, Some(3));
         assert_eq!(hist.epochs.first().map(|e| e.epoch), Some(4));

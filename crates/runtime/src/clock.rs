@@ -1,0 +1,129 @@
+//! Deterministic virtual time for serving pipelines.
+//!
+//! Wall clocks are poison for reproducibility: the same run would shed
+//! different windows depending on machine load, and `PELICAN_THREADS`
+//! would change which deadlines are missed. Instead, every latency in the
+//! streaming pipeline is measured in **virtual ticks** produced by a cost
+//! model (so many ticks per flow, so many per injected stall). Ticks
+//! advance only through explicit [`VirtualClock::advance`] calls, so a
+//! run's entire timeline is a pure function of its inputs — bit-identical
+//! at every worker count.
+
+/// A monotone counter of cost-model ticks.
+///
+/// The clock never goes backwards: [`advance_to`](VirtualClock::advance_to)
+/// with a past tick is a no-op, which lets independent stages push the
+/// clock forward without coordinating.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VirtualClock {
+    now: u64,
+}
+
+impl VirtualClock {
+    /// A clock at tick zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Moves the clock forward by `ticks` (saturating) and returns the new
+    /// time.
+    pub fn advance(&mut self, ticks: u64) -> u64 {
+        self.now = self.now.saturating_add(ticks);
+        self.now
+    }
+
+    /// Moves the clock forward to `tick` if that is in the future; a past
+    /// or present `tick` leaves the clock unchanged. Returns the (possibly
+    /// unchanged) current time.
+    pub fn advance_to(&mut self, tick: u64) -> u64 {
+        self.now = self.now.max(tick);
+        self.now
+    }
+}
+
+/// An absolute virtual-tick deadline for one unit of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    at: u64,
+}
+
+impl Deadline {
+    /// A deadline `budget` ticks after `now` (saturating).
+    pub fn from_budget(now: u64, budget: u64) -> Self {
+        Self {
+            at: now.saturating_add(budget),
+        }
+    }
+
+    /// The absolute tick the work must complete by (inclusive: finishing
+    /// exactly at the deadline meets it).
+    pub fn at(&self) -> u64 {
+        self.at
+    }
+
+    /// Ticks left before the deadline at time `now`; `None` once missed.
+    pub fn remaining(&self, now: u64) -> Option<u64> {
+        self.at.checked_sub(now)
+    }
+
+    /// Whether the deadline has already passed at `now` (the boundary is
+    /// inclusive: `now == at` still meets it).
+    pub fn missed(&self, now: u64) -> bool {
+        now > self.at
+    }
+
+    /// Whether work costing `cost` ticks, started at `now`, would finish
+    /// after the deadline.
+    pub fn would_miss(&self, now: u64, cost: u64) -> bool {
+        self.missed(now.saturating_add(cost))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut clock = VirtualClock::new();
+        assert_eq!(clock.now(), 0);
+        assert_eq!(clock.advance(5), 5);
+        assert_eq!(clock.advance_to(3), 5, "no going backwards");
+        assert_eq!(clock.advance_to(9), 9);
+        assert_eq!(clock.advance(0), 9);
+    }
+
+    #[test]
+    fn clock_saturates() {
+        let mut clock = VirtualClock::new();
+        clock.advance(u64::MAX);
+        assert_eq!(clock.advance(10), u64::MAX);
+    }
+
+    #[test]
+    fn deadline_boundary_is_inclusive() {
+        let d = Deadline::from_budget(10, 5);
+        assert_eq!(d.at(), 15);
+        assert!(!d.missed(15), "finishing exactly on time meets it");
+        assert!(d.missed(16));
+        assert_eq!(d.remaining(12), Some(3));
+        assert_eq!(d.remaining(15), Some(0));
+        assert_eq!(d.remaining(16), None);
+    }
+
+    #[test]
+    fn would_miss_projects_cost() {
+        let d = Deadline::from_budget(0, 10);
+        assert!(!d.would_miss(0, 10), "cost exactly filling the budget fits");
+        assert!(d.would_miss(0, 11));
+        assert!(d.would_miss(5, 6));
+        assert!(!d.would_miss(5, 5));
+        // Saturating: an absurd cost misses rather than wrapping.
+        assert!(d.would_miss(1, u64::MAX));
+    }
+}

@@ -15,6 +15,13 @@
 //!   are folded by [`tree_reduce`] in task order, independent of which
 //!   worker finished first.
 //!
+//! The same determinism discipline extends to *serving*: [`VirtualClock`]
+//! and [`Deadline`] measure latency in cost-model ticks rather than wall
+//! time, and [`BoundedQueue`] resolves overflow through explicit
+//! [`OverflowPolicy`] outcomes — the primitives under the simulator's
+//! streaming pipeline, where a run's shed/degrade/deadline decisions must
+//! be a pure function of its inputs.
+//!
 //! The worker count comes from, in priority order: the innermost
 //! [`with_exec`]/[`with_workers`] scope on the current thread, the
 //! `PELICAN_THREADS` environment variable (read once per process), or
@@ -29,6 +36,12 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
 //! assert_eq!(tree_reduce(squares, |a, b| a + b), Some(30));
 //! ```
+
+mod clock;
+mod queue;
+
+pub use clock::{Deadline, VirtualClock};
+pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -309,7 +322,13 @@ mod tests {
         // Non-commutative combine exposes the association pattern:
         // ((a·b)·(c·d))·e for five items.
         let order = tree_reduce(
-            vec!["a".to_string(), "b".into(), "c".into(), "d".into(), "e".into()],
+            vec![
+                "a".to_string(),
+                "b".into(),
+                "c".into(),
+                "d".into(),
+                "e".into(),
+            ],
             |a, b| format!("({a}{b})"),
         )
         .unwrap();

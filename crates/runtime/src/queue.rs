@@ -1,0 +1,176 @@
+//! A bounded FIFO with explicit overflow outcomes.
+//!
+//! Unbounded queues turn overload into unbounded memory growth and
+//! unbounded latency; a serving pipeline needs the opposite — a hard
+//! capacity with a *policy decision* at the moment of overflow. This queue
+//! never decides the policy itself: [`BoundedQueue::push`] reports exactly
+//! what happened (enqueued, would block, shed the oldest, rejected the
+//! newest) and hands evicted items back to the caller, so backpressure,
+//! load shedding, and degrade-to-fallback all stay observable and
+//! deterministic at the call site.
+
+use std::collections::VecDeque;
+
+/// What `push` should do when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Refuse the new item and report [`PushOutcome::WouldBlock`]; the
+    /// caller is expected to drain the queue and retry — cooperative
+    /// backpressure for single-threaded deterministic loops.
+    Block,
+    /// Evict the oldest queued item to make room for the new one
+    /// (freshness wins: in a NIDS, stale windows age into uselessness).
+    ShedOldest,
+    /// Refuse the new item and report [`PushOutcome::Rejected`]; the
+    /// caller routes it elsewhere (e.g. a cheap fallback tier).
+    Reject,
+}
+
+/// The result of a [`BoundedQueue::push`]. Evicted or refused items are
+/// returned to the caller — the queue never drops data silently.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushOutcome<T> {
+    /// The item was enqueued; the queue had room.
+    Enqueued,
+    /// The queue is full under [`OverflowPolicy::Block`]; the refused item
+    /// is handed back for a retry after draining.
+    WouldBlock(T),
+    /// The item was enqueued after evicting the oldest entry, which is
+    /// handed back for accounting.
+    ShedOldest(T),
+    /// The queue is full under [`OverflowPolicy::Reject`]; the refused
+    /// item is handed back for rerouting.
+    Rejected(T),
+}
+
+/// A FIFO queue with a hard capacity.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a zero-capacity queue would make every
+    /// push an overflow and usually signals a misconfiguration.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum number of items the queue holds.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Attempts to enqueue `item`, resolving overflow via `policy`.
+    pub fn push(&mut self, item: T, policy: OverflowPolicy) -> PushOutcome<T> {
+        if !self.is_full() {
+            self.items.push_back(item);
+            return PushOutcome::Enqueued;
+        }
+        match policy {
+            OverflowPolicy::Block => PushOutcome::WouldBlock(item),
+            OverflowPolicy::Reject => PushOutcome::Rejected(item),
+            OverflowPolicy::ShedOldest => {
+                let evicted = self.items.pop_front().expect("full queue is non-empty");
+                self.items.push_back(item);
+                PushOutcome::ShedOldest(evicted)
+            }
+        }
+    }
+
+    /// Removes and returns the oldest item.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// The oldest item without removing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_below_capacity() {
+        let mut q = BoundedQueue::new(3);
+        for i in 0..3 {
+            assert_eq!(q.push(i, OverflowPolicy::Block), PushOutcome::Enqueued);
+        }
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn block_hands_the_item_back() {
+        let mut q = BoundedQueue::new(1);
+        q.push('a', OverflowPolicy::Block);
+        assert_eq!(
+            q.push('b', OverflowPolicy::Block),
+            PushOutcome::WouldBlock('b')
+        );
+        assert_eq!(q.len(), 1, "refused item not enqueued");
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.push('b', OverflowPolicy::Block), PushOutcome::Enqueued);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_the_front() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1, OverflowPolicy::ShedOldest);
+        q.push(2, OverflowPolicy::ShedOldest);
+        assert_eq!(
+            q.push(3, OverflowPolicy::ShedOldest),
+            PushOutcome::ShedOldest(1)
+        );
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn reject_refuses_the_newest() {
+        let mut q = BoundedQueue::new(1);
+        q.push(10, OverflowPolicy::Reject);
+        assert_eq!(
+            q.push(11, OverflowPolicy::Reject),
+            PushOutcome::Rejected(11)
+        );
+        assert_eq!(q.pop(), Some(10), "queued item untouched");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        BoundedQueue::<u8>::new(0);
+    }
+}

@@ -191,8 +191,14 @@ mod tests {
             team.receive(alert(0.0, true));
         }
         team.work_until(100.0);
-        let last = team.outcomes().last().unwrap();
-        assert_eq!(last.completed_at, 20.0, "4 alerts / 2 analysts / 10s each");
+        // No unwrap: an empty outcome list fails the assertion instead of
+        // panicking with an unhelpful `Option::unwrap` message.
+        let last_completed = team.outcomes().last().map(|o| o.completed_at);
+        assert_eq!(
+            last_completed,
+            Some(20.0),
+            "4 alerts / 2 analysts / 10s each"
+        );
     }
 
     #[test]

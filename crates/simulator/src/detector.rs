@@ -23,6 +23,19 @@ pub trait Detector {
     fn degraded_windows(&self) -> usize {
         0
     }
+
+    /// Extra virtual-clock ticks the last [`classify`](Detector::classify)
+    /// call consumed beyond the pipeline's cost model, drained on read
+    /// (a second call returns 0 until the next classify).
+    ///
+    /// The streaming pipeline charges these ticks against the window's
+    /// deadline, so a detector that stalls — genuinely slow inference, or
+    /// an injected chaos stall from
+    /// [`FaultyDetector`](crate::FaultyDetector) — misses deadlines
+    /// deterministically instead of nondeterministically via wall time.
+    fn take_stall_ticks(&mut self) -> u64 {
+        0
+    }
 }
 
 /// A ground-truth oracle degraded by configurable miss and false-alarm

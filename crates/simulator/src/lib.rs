@@ -19,7 +19,14 @@
 //!   backlog and wasted triage effort;
 //! * [`ResilientDetector`] wraps any detector with validation and a
 //!   fallback, so a faulting model degrades windows instead of crashing
-//!   the deployment ([`FaultyDetector`] injects such faults for tests).
+//!   the deployment ([`FaultyDetector`] injects such faults for tests);
+//! * [`StreamingPipeline`] is the production-shaped serving loop: a
+//!   bounded ingest queue with explicit [`ShedPolicy`] backpressure /
+//!   load-shedding, per-window virtual-clock deadlines, a
+//!   [`CircuitBreaker`] around the primary, and a
+//!   [`PipelineHealth`](pelican_core::PipelineHealth) counter surface —
+//!   with [`ChaosSchedule`] as the matching seeded fault source (stalls,
+//!   error bursts, hard-down periods).
 //!
 //! # Example
 //!
@@ -35,13 +42,21 @@
 //! ```
 
 mod alerts;
+mod chaos;
 mod detector;
+mod pipeline;
 mod resilient;
 mod sim;
 mod traffic;
 
 pub use alerts::{Alert, Analyst, TriageOutcome, TriageStats};
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosSchedule};
 pub use detector::{Detector, OracleDetector, ThresholdNoiseDetector};
+pub use pelican_core::PipelineHealth;
+pub use pipeline::{
+    BreakerConfig, BreakerState, CircuitBreaker, CostModel, PipelineConfig, ServedBy, ShedPolicy,
+    StreamingPipeline, WindowVerdict,
+};
 pub use resilient::{
     score_windows, AllNormalFallback, FaultyDetector, ResilienceConfig, ResilientDetector,
 };

@@ -12,6 +12,7 @@
 //! corrupts an inner detector's verdicts, for exercising the resilience
 //! path in tests and demos.
 
+use crate::chaos::{ChaosEvent, ChaosSchedule};
 use crate::detector::Detector;
 use crate::traffic::Flow;
 use pelican_runtime::{tree_reduce, Pool};
@@ -19,14 +20,32 @@ use pelican_tensor::SeededRng;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// What the resilience wrapper tolerates and how.
+///
+/// # Boundary semantics
+///
+/// Both bounds are **inclusive on the accepting side**:
+///
+/// * a window with exactly `flow_budget` flows is still served by the
+///   primary (`len > flow_budget` degrades);
+/// * a prediction of exactly `class_bound - 1` is still valid
+///   (`class >= class_bound` degrades).
+///
+/// Degenerate configurations are well-defined rather than rejected:
+/// `class_bound == 0` means *no* prediction is valid, so every non-empty
+/// window degrades to the fallback (an empty window vacuously passes
+/// validation); `flow_budget == 0` sends every non-empty window straight
+/// to the fallback without invoking the primary. Both are useful as a
+/// "force fallback" switch in drills.
 #[derive(Debug, Clone, Copy)]
 pub struct ResilienceConfig {
     /// Predictions must be `< class_bound`; anything larger is treated as
-    /// corrupted output and degrades the window.
+    /// corrupted output and degrades the window. `0` degrades every
+    /// non-empty window.
     pub class_bound: usize,
-    /// Largest window the primary detector is asked to classify. Bigger
-    /// windows go straight to the fallback — overload protection for a
-    /// model with a fixed inference budget.
+    /// Largest window (inclusive) the primary detector is asked to
+    /// classify. Bigger windows go straight to the fallback — overload
+    /// protection for a model with a fixed inference budget. `0` routes
+    /// every non-empty window to the fallback.
     pub flow_budget: usize,
     /// Catch panics from the primary (a poisoned network deep in a
     /// tensor op) and degrade instead of unwinding through the simulator.
@@ -41,6 +60,15 @@ impl Default for ResilienceConfig {
             catch_panics: true,
         }
     }
+}
+
+/// The structural validity check shared by [`ResilientDetector`] and the
+/// streaming pipeline: a verdict is accepted only if it has exactly one
+/// class per flow and every class is `< class_bound`. An empty verdict
+/// over an empty window is valid (vacuously — there is nothing to get
+/// wrong).
+pub(crate) fn verdict_is_valid(preds: &[usize], window_len: usize, class_bound: usize) -> bool {
+    preds.len() == window_len && preds.iter().all(|&c| c < class_bound)
 }
 
 /// Wraps a primary [`Detector`] with validation and a fallback.
@@ -94,11 +122,7 @@ impl<P: Detector, F: Detector> Detector for ResilientDetector<P, F> {
         };
         let bound = self.config.class_bound;
         match verdict {
-            Some(preds)
-                if preds.len() == window.len() && preds.iter().all(|&c| c < bound) =>
-            {
-                preds
-            }
+            Some(preds) if verdict_is_valid(&preds, window.len(), bound) => preds,
             _ => {
                 self.degraded += 1;
                 self.fallback.classify(window)
@@ -112,6 +136,10 @@ impl<P: Detector, F: Detector> Detector for ResilientDetector<P, F> {
 
     fn degraded_windows(&self) -> usize {
         self.degraded + self.fallback.degraded_windows()
+    }
+
+    fn take_stall_ticks(&mut self) -> u64 {
+        self.primary.take_stall_ticks() + self.fallback.take_stall_ticks()
     }
 }
 
@@ -180,16 +208,28 @@ enum DetectorFault {
 
 /// A seeded chaos wrapper corrupting an inner detector's output.
 ///
-/// At the configured per-window rate it truncates the verdict, returns an
-/// empty one, injects out-of-range class indices, or (only when enabled
-/// via [`with_panics`](FaultyDetector::with_panics)) panics outright —
-/// exactly the failure modes [`ResilientDetector`] absorbs.
+/// Two modes:
+///
+/// * **Rate mode** (the default): at the configured per-window rate it
+///   truncates the verdict, returns an empty one, injects out-of-range
+///   class indices, or (only when enabled via
+///   [`with_panics`](FaultyDetector::with_panics)) panics outright —
+///   exactly the failure modes [`ResilientDetector`] absorbs.
+/// * **Schedule mode** (via
+///   [`with_schedule`](FaultyDetector::with_schedule)): a
+///   [`ChaosSchedule`] dictates per-window events, adding the pipeline-
+///   level failure shapes — virtual-clock stalls (reported through
+///   [`Detector::take_stall_ticks`]), transient corruption bursts, and
+///   hard-down periods — all replayable from the seed.
 pub struct FaultyDetector<D: Detector> {
     inner: D,
     rng: SeededRng,
     rate: f32,
     panics: bool,
     injected: usize,
+    schedule: Option<ChaosSchedule>,
+    stall_pending: u64,
+    stalled: usize,
 }
 
 impl<D: Detector> FaultyDetector<D> {
@@ -201,30 +241,50 @@ impl<D: Detector> FaultyDetector<D> {
             rate: rate.clamp(0.0, 1.0),
             panics: false,
             injected: 0,
+            schedule: None,
+            stall_pending: 0,
+            stalled: 0,
         }
     }
 
     /// Also inject panics (off by default: a panicking detector aborts
-    /// any harness that does not catch it).
+    /// any harness that does not catch it). In schedule mode this governs
+    /// whether [`ChaosEvent::Down`] windows panic or return an empty
+    /// verdict.
     pub fn with_panics(mut self, panics: bool) -> Self {
         self.panics = panics;
         self
     }
 
-    /// Windows corrupted so far.
+    /// Switches to schedule mode: `schedule` decides every window's fate
+    /// and the per-window corruption rate is ignored.
+    pub fn with_schedule(mut self, schedule: ChaosSchedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Windows corrupted so far (in schedule mode: corrupt + down
+    /// windows; stalls deliver a correct verdict and are counted by
+    /// [`stalled`](FaultyDetector::stalled) instead).
     pub fn injected(&self) -> usize {
         self.injected
     }
-}
 
-impl<D: Detector> Detector for FaultyDetector<D> {
-    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
-        let mut preds = self.inner.classify(window);
-        if self.rng.uniform() >= self.rate {
-            return preds;
-        }
-        self.injected += 1;
-        let faults: &[DetectorFault] = if self.panics {
+    /// Windows that incurred an injected stall so far.
+    pub fn stalled(&self) -> usize {
+        self.stalled
+    }
+
+    /// The chaos schedule, if attached — its
+    /// [`log`](ChaosSchedule::log) is the ground-truth fault sequence for
+    /// determinism assertions.
+    pub fn schedule(&self) -> Option<&ChaosSchedule> {
+        self.schedule.as_ref()
+    }
+
+    /// Applies one rate-mode corruption to `preds`.
+    fn corrupt(&mut self, preds: &mut Vec<usize>, allow_panic: bool) {
+        let faults: &[DetectorFault] = if allow_panic {
             &[
                 DetectorFault::Truncate,
                 DetectorFault::Stall,
@@ -239,7 +299,10 @@ impl<D: Detector> Detector for FaultyDetector<D> {
             ]
         };
         match faults[self.rng.index(faults.len())] {
-            DetectorFault::Truncate => preds.truncate(preds.len() / 2),
+            DetectorFault::Truncate => {
+                let half = preds.len() / 2;
+                preds.truncate(half);
+            }
             DetectorFault::Stall => preds.clear(),
             DetectorFault::Garbage => {
                 if !preds.is_empty() {
@@ -249,11 +312,54 @@ impl<D: Detector> Detector for FaultyDetector<D> {
             }
             DetectorFault::Panic => panic!("injected detector fault"),
         }
+    }
+}
+
+impl<D: Detector> Detector for FaultyDetector<D> {
+    fn classify(&mut self, window: &[Flow]) -> Vec<usize> {
+        if let Some(schedule) = self.schedule.as_mut() {
+            // Schedule mode: the event is drawn before touching the inner
+            // detector so the schedule stays a pure function of the seed
+            // and the window count.
+            let event = schedule.next_event();
+            return match event {
+                ChaosEvent::Healthy => self.inner.classify(window),
+                ChaosEvent::Stall(ticks) => {
+                    self.stall_pending = self.stall_pending.saturating_add(ticks);
+                    self.stalled += 1;
+                    self.inner.classify(window)
+                }
+                ChaosEvent::Corrupt => {
+                    self.injected += 1;
+                    let mut preds = self.inner.classify(window);
+                    self.corrupt(&mut preds, false);
+                    preds
+                }
+                ChaosEvent::Down => {
+                    self.injected += 1;
+                    if self.panics {
+                        panic!("injected hard-down period");
+                    }
+                    Vec::new()
+                }
+            };
+        }
+        let mut preds = self.inner.classify(window);
+        if self.rng.uniform() >= self.rate {
+            return preds;
+        }
+        self.injected += 1;
+        let allow_panic = self.panics;
+        self.corrupt(&mut preds, allow_panic);
         preds
     }
 
     fn name(&self) -> &'static str {
         "faulty"
+    }
+
+    fn take_stall_ticks(&mut self) -> u64 {
+        std::mem::take(&mut self.stall_pending) + self.inner.take_stall_ticks()
     }
 }
 
@@ -369,6 +475,48 @@ mod tests {
     }
 
     #[test]
+    fn faulty_schedule_replays_bit_identically() {
+        use crate::chaos::{ChaosConfig, ChaosSchedule};
+        use pelican_runtime::{with_exec, with_workers, ExecConfig};
+        let chaos = ChaosConfig {
+            stall_rate: 0.3,
+            stall_ticks: (10, 40),
+            burst_rate: 0.2,
+            burst_len: (1, 3),
+            down_rate: 0.1,
+            down_len: (2, 4),
+        };
+        let run = || {
+            let mut det = FaultyDetector::new(OracleDetector::new(1.0, 0.0, 2), 7, 0.0)
+                .with_schedule(ChaosSchedule::new(chaos, 99));
+            let mut stream = TrafficStream::nslkdd(0.2, 13);
+            let mut preds = Vec::new();
+            let mut stalls = Vec::new();
+            for _ in 0..30 {
+                let w = stream.next_window(12);
+                preds.push(det.classify(&w));
+                stalls.push(det.take_stall_ticks());
+            }
+            let log = det.schedule().expect("schedule attached").log().to_vec();
+            (preds, stalls, log, det.injected(), det.stalled())
+        };
+        // Same seed + schedule ⇒ identical corruption/stall sequence on a
+        // second run…
+        let first = with_exec(ExecConfig::serial(), run);
+        let second = with_exec(ExecConfig::serial(), run);
+        assert_eq!(first, second, "schedule must replay identically");
+        // …and across worker counts (the in-process analogue of
+        // PELICAN_THREADS=1 vs =4; scripts/check.sh also runs the whole
+        // suite under both env settings).
+        let pooled = with_workers(4, run);
+        assert_eq!(first, pooled, "schedule must not depend on workers");
+        assert!(
+            first.3 > 0 && first.4 > 0,
+            "the chosen rates must actually inject faults and stalls"
+        );
+    }
+
+    #[test]
     fn score_windows_parallel_matches_serial() {
         use pelican_runtime::{stream_seed, with_exec, with_workers, ExecConfig};
         let windows: Vec<Vec<Flow>> = (0..9)
@@ -387,7 +535,10 @@ mod tests {
         for workers in [2usize, 3, 7] {
             let (preds, degraded) = with_workers(workers, || score_windows(&windows, make));
             assert_eq!(preds, serial_preds, "predictions @ {workers} workers");
-            assert_eq!(degraded, serial_degraded, "degraded count @ {workers} workers");
+            assert_eq!(
+                degraded, serial_degraded,
+                "degraded count @ {workers} workers"
+            );
         }
         for (i, (p, w)) in serial_preds.iter().zip(&windows).enumerate() {
             assert_eq!(p.len(), w.len(), "window {i} fully covered");
@@ -408,7 +559,10 @@ mod tests {
         });
         assert_eq!(preds.len(), 5);
         assert_eq!(degraded, 5);
-        assert!(preds.iter().flatten().all(|&p| p == 0), "all degraded to fallback");
+        assert!(
+            preds.iter().flatten().all(|&p| p == 0),
+            "all degraded to fallback"
+        );
     }
 
     #[test]
@@ -424,7 +578,10 @@ mod tests {
             assert!(preds.iter().all(|&p| p < 64));
             degraded_any |= det.degraded() > 0;
         }
-        assert!(degraded_any, "rate 0.5 over 40 windows must trip at least once");
+        assert!(
+            degraded_any,
+            "rate 0.5 over 40 windows must trip at least once"
+        );
         assert_eq!(det.degraded(), det.primary().injected());
     }
 }

@@ -2,7 +2,9 @@
 
 use crate::alerts::{Alert, Analyst, TriageStats};
 use crate::detector::Detector;
-use crate::traffic::TrafficStream;
+use crate::pipeline::{ServedBy, StreamingPipeline, WindowVerdict};
+use crate::traffic::{Flow, TrafficStream};
+use pelican_core::PipelineHealth;
 use std::collections::HashMap;
 
 /// Simulation length and window shape.
@@ -46,6 +48,13 @@ pub struct SimReport {
     /// Windows served in a degraded mode (fallback verdicts after a
     /// detector fault); non-zero only for resilience-wrapped detectors.
     pub degraded_windows: usize,
+    /// Windows dropped by the streaming pipeline's shed policy before any
+    /// detector saw them (their flows are not counted in `flows` or the
+    /// rate denominators). Zero outside streaming runs.
+    pub shed_windows: usize,
+    /// Per-stage health counters from the streaming pipeline; `None` for
+    /// plain [`run`](Simulation::run) deployments.
+    pub pipeline: Option<PipelineHealth>,
     /// The security team's triage statistics.
     pub triage: TriageStats,
 }
@@ -144,6 +153,120 @@ impl Simulation {
                 Some(latency_sum / detected as f64)
             },
             degraded_windows: detector.degraded_windows(),
+            shed_windows: 0,
+            pipeline: None,
+            triage: team.stats(),
+        }
+    }
+
+    /// Runs the deployment through a [`StreamingPipeline`] instead of a
+    /// bare detector: windows are ingested under the pipeline's
+    /// backpressure/shedding policy, served by its two tiers under the
+    /// circuit breaker and deadline budget, and the health counters land
+    /// in [`SimReport::pipeline`].
+    ///
+    /// Shed windows never reach a detector; their flows are excluded from
+    /// `flows` and from the detection/false-alarm denominators and
+    /// surface as [`SimReport::shed_windows`]. The pipeline is taken by
+    /// `&mut` so the caller can inspect its breaker transitions or chaos
+    /// log after the run.
+    pub fn run_streaming<P: Detector, F: Detector>(
+        &self,
+        mut stream: TrafficStream,
+        pipeline: &mut StreamingPipeline<P, F>,
+        mut team: Analyst,
+    ) -> SimReport {
+        let mut windows: Vec<Vec<Flow>> = Vec::with_capacity(self.config.windows);
+        let mut verdicts: Vec<WindowVerdict> = Vec::new();
+        for _ in 0..self.config.windows {
+            let window = stream.next_window(self.config.flows_per_window);
+            windows.push(window.clone());
+            verdicts.extend(pipeline.ingest(window));
+        }
+        verdicts.extend(pipeline.finish());
+        // Replay outcomes in arrival order regardless of service order.
+        verdicts.sort_by_key(|v| v.id);
+
+        let mut flows_total = 0usize;
+        let mut alerts_total = 0usize;
+        let mut attacks = 0usize;
+        let mut attacks_flagged = 0usize;
+        let mut normals = 0usize;
+        let mut normals_flagged = 0usize;
+        let mut shed_windows = 0usize;
+        let mut first_alert: HashMap<usize, f64> = HashMap::new();
+        let mut clock = 0.0f64;
+
+        for verdict in &verdicts {
+            let window = &windows[verdict.id];
+            if verdict.served_by == ServedBy::Shed {
+                shed_windows += 1;
+                continue;
+            }
+            debug_assert_eq!(verdict.preds.len(), window.len());
+            for (flow, &pred) in window.iter().zip(&verdict.preds) {
+                flows_total += 1;
+                clock = clock.max(flow.time);
+                let flagged = pred != 0;
+                if flow.true_class != 0 {
+                    attacks += 1;
+                    attacks_flagged += usize::from(flagged);
+                } else {
+                    normals += 1;
+                    normals_flagged += usize::from(flagged);
+                }
+                if flagged {
+                    alerts_total += 1;
+                    if let Some(campaign) = flow.campaign {
+                        first_alert.entry(campaign).or_insert(flow.time);
+                    }
+                    team.receive(Alert {
+                        time: flow.time,
+                        suspected_class: pred,
+                        is_true_positive: flow.true_class != 0,
+                        campaign: flow.campaign,
+                    });
+                }
+            }
+            team.work_until(clock);
+        }
+        team.work_until(clock + 1e9);
+
+        let campaigns = stream.campaigns();
+        let mut latency_sum = 0.0f64;
+        let mut detected = 0usize;
+        for campaign in campaigns {
+            if let Some(&t) = first_alert.get(&campaign.id) {
+                detected += 1;
+                latency_sum += t - campaign.start;
+            }
+        }
+
+        let health = *pipeline.health();
+        SimReport {
+            detector: "streaming",
+            flows: flows_total,
+            alerts: alerts_total,
+            detection_rate: if attacks == 0 {
+                0.0
+            } else {
+                attacks_flagged as f64 / attacks as f64
+            },
+            false_alarm_rate: if normals == 0 {
+                0.0
+            } else {
+                normals_flagged as f64 / normals as f64
+            },
+            campaigns_detected: detected,
+            campaigns_total: campaigns.len(),
+            mean_time_to_detection: if detected == 0 {
+                None
+            } else {
+                Some(latency_sum / detected as f64)
+            },
+            degraded_windows: health.degraded,
+            shed_windows,
+            pipeline: Some(health),
             triage: team.stats(),
         }
     }
@@ -178,11 +301,8 @@ mod tests {
     fn blind_detector_catches_nothing() {
         let stream = TrafficStream::nslkdd(0.4, 11);
         let detector = ThresholdNoiseDetector::new(0.0, 5);
-        let report = Simulation::new(SimConfig::default()).run(
-            stream,
-            detector,
-            Analyst::new(1, 30.0),
-        );
+        let report =
+            Simulation::new(SimConfig::default()).run(stream, detector, Analyst::new(1, 30.0));
         assert_eq!(report.alerts, 0);
         assert_eq!(report.campaigns_detected, 0);
         assert_eq!(report.mean_time_to_detection, None);
@@ -236,16 +356,54 @@ mod tests {
     }
 
     #[test]
+    fn streaming_run_reports_pipeline_health() {
+        use crate::pipeline::{PipelineConfig, StreamingPipeline};
+        use crate::resilient::AllNormalFallback;
+        let stream = TrafficStream::nslkdd(0.4, 11);
+        let mut pipeline = StreamingPipeline::new(
+            OracleDetector::new(1.0, 0.0, 5),
+            AllNormalFallback,
+            PipelineConfig::default(),
+        );
+        let cfg = SimConfig {
+            windows: 10,
+            flows_per_window: 40,
+        };
+        let report =
+            Simulation::new(cfg).run_streaming(stream, &mut pipeline, Analyst::new(2, 30.0));
+        let health = report.pipeline.expect("streaming runs carry health");
+        assert_eq!(health.enqueued, 10);
+        assert_eq!(health.processed, 10);
+        assert_eq!(report.detector, "streaming");
+        assert_eq!(report.shed_windows, 0);
+        assert_eq!(report.degraded_windows, 0);
+        // A healthy pipeline matches the plain run's detection quality.
+        let plain = Simulation::new(cfg).run(
+            TrafficStream::nslkdd(0.4, 11),
+            OracleDetector::new(1.0, 0.0, 5),
+            Analyst::new(2, 30.0),
+        );
+        assert_eq!(report.flows, plain.flows);
+        assert_eq!(report.alerts, plain.alerts);
+        assert_eq!(
+            report.detection_rate.to_bits(),
+            plain.detection_rate.to_bits(),
+            "identical verdicts, identical rates"
+        );
+        assert!(plain.pipeline.is_none(), "plain runs carry no health");
+    }
+
+    #[test]
     fn report_counts_are_consistent() {
         let report = run_with(0.9, 0.1);
-        assert_eq!(report.flows, 10 * 40 + {
-            // campaign flows on top of background
-            report.flows - 400
-        });
         assert_eq!(
-            report.alerts,
-            report.triage.triaged + report.triage.backlog
+            report.flows,
+            10 * 40 + {
+                // campaign flows on top of background
+                report.flows - 400
+            }
         );
+        assert_eq!(report.alerts, report.triage.triaged + report.triage.backlog);
         assert!(report.campaigns_detected <= report.campaigns_total);
         assert!((0.0..=1.0).contains(&report.detection_rate));
         assert!((0.0..=1.0).contains(&report.false_alarm_rate));

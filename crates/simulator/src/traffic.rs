@@ -159,6 +159,14 @@ impl TrafficStream {
             .collect()
     }
 
+    /// Produces `count` consecutive windows of `background` flows each —
+    /// the batch form of [`next_window`](TrafficStream::next_window), for
+    /// feeding a [`StreamingPipeline`](crate::StreamingPipeline) or a
+    /// replay harness.
+    pub fn next_windows(&mut self, count: usize, background: usize) -> Vec<Vec<Flow>> {
+        (0..count).map(|_| self.next_window(background)).collect()
+    }
+
     /// Produces the next window of `background` flows, possibly with a
     /// campaign injected at a random offset.
     pub fn next_window(&mut self, background: usize) -> Vec<Flow> {
@@ -168,9 +176,7 @@ impl TrafficStream {
             let u = f64::from(self.rng.uniform()).max(1e-9);
             self.clock += -self.config.mean_interarrival * u.ln();
             // Background is overwhelmingly normal; occasional lone attacks.
-            let class = if f64::from(self.rng.uniform())
-                < self.config.background_attack_fraction
-            {
+            let class = if f64::from(self.rng.uniform()) < self.config.background_attack_fraction {
                 let attacks = self.attack_classes();
                 if attacks.is_empty() {
                     Some(0)

@@ -1,7 +1,8 @@
 //! Property-based tests for the deployment simulator.
 
 use pelican_simulator::{
-    Alert, Analyst, OracleDetector, SimConfig, Simulation, TrafficConfig, TrafficStream,
+    Alert, AllNormalFallback, Analyst, Detector, Flow, OracleDetector, ResilienceConfig,
+    ResilientDetector, SimConfig, Simulation, TrafficConfig, TrafficStream,
 };
 use proptest::prelude::*;
 
@@ -69,6 +70,81 @@ proptest! {
         if report.alerts == 0 {
             prop_assert_eq!(report.campaigns_detected, 0);
         }
+    }
+
+    /// The flow-budget boundary is inclusive: a window of exactly
+    /// `flow_budget` flows is served by the primary; one flow more
+    /// degrades to the fallback. Holds for every budget, including 0.
+    #[test]
+    fn flow_budget_boundary_is_inclusive(budget in 0usize..30, extra in 0usize..10, seed in 0u64..50) {
+        let mut stream = TrafficStream::nslkdd(0.0, seed);
+        let window = stream.next_window((budget + extra).max(1));
+        let window = &window[..(budget + extra).min(window.len())];
+        let config = ResilienceConfig { flow_budget: budget, ..Default::default() };
+        let mut det = ResilientDetector::new(
+            OracleDetector::new(1.0, 0.0, seed),
+            AllNormalFallback,
+            config,
+        );
+        let preds = det.classify(window);
+        prop_assert_eq!(preds.len(), window.len(), "fallback or primary must cover the window");
+        let should_degrade = window.len() > budget;
+        prop_assert_eq!(
+            det.degraded() > 0,
+            should_degrade,
+            "len {} vs budget {}: exactly-at-budget stays on the primary",
+            window.len(),
+            budget
+        );
+    }
+
+    /// `class_bound == 0` makes every non-empty verdict invalid: the
+    /// window always degrades to the fallback, and an empty window passes
+    /// vacuously — the run never panics either way.
+    #[test]
+    fn zero_class_bound_always_degrades(len in 0usize..25, seed in 0u64..50) {
+        let window: Vec<Flow> = if len == 0 {
+            Vec::new()
+        } else {
+            TrafficStream::nslkdd(0.0, seed).next_window(len)
+        };
+        let config = ResilienceConfig { class_bound: 0, ..Default::default() };
+        let mut det = ResilientDetector::new(
+            OracleDetector::new(1.0, 0.0, seed),
+            AllNormalFallback,
+            config,
+        );
+        let preds = det.classify(&window);
+        prop_assert_eq!(preds.len(), window.len());
+        if window.is_empty() {
+            prop_assert_eq!(det.degraded(), 0, "empty verdicts are vacuously valid");
+        } else {
+            prop_assert_eq!(det.degraded(), 1);
+            prop_assert!(preds.iter().all(|&p| p == 0), "fallback serves the window");
+        }
+    }
+
+    /// `flow_budget == 0` routes every non-empty window to the fallback
+    /// without ever invoking the primary.
+    #[test]
+    fn zero_flow_budget_never_invokes_primary(len in 1usize..25, seed in 0u64..50) {
+        struct MustNotRun;
+        impl Detector for MustNotRun {
+            fn classify(&mut self, _: &[Flow]) -> Vec<usize> {
+                panic!("primary must not be invoked with a zero flow budget")
+            }
+            fn name(&self) -> &'static str { "must-not-run" }
+        }
+        let window = TrafficStream::nslkdd(0.0, seed).next_window(len);
+        let config = ResilienceConfig {
+            flow_budget: 0,
+            catch_panics: false, // a primary invocation would abort the test
+            ..Default::default()
+        };
+        let mut det = ResilientDetector::new(MustNotRun, AllNormalFallback, config);
+        let preds = det.classify(&window);
+        prop_assert_eq!(preds.len(), window.len());
+        prop_assert_eq!(det.degraded(), 1);
     }
 
     /// Traffic windows always deliver at least the background count and

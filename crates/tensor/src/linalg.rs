@@ -63,7 +63,15 @@ fn gemm_rows(a: &[f32], bt: &[f32], out: &mut [f32], k: usize, n: usize, row0: u
 /// and `b` is `k×n`, both row-major. The reduction over `t` runs ascending and
 /// keeps the zero-skip, so each output element sees the exact per-element
 /// accumulation order of the serial kernel.
-fn matmul_at_rows(a: &[f32], b: &[f32], out: &mut [f32], k: usize, m: usize, n: usize, row0: usize) {
+fn matmul_at_rows(
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+    k: usize,
+    m: usize,
+    n: usize,
+    row0: usize,
+) {
     let rows = out.len() / n;
     for t in 0..k {
         let ar = &a[t * m..(t + 1) * m];
@@ -275,7 +283,10 @@ mod tests {
         let b = Tensor::full(vec![n, n], 2.0);
         let c = a.matmul(&b).unwrap();
         // Every entry is sum over k of 1*2 = 2n.
-        assert!(c.as_slice().iter().all(|&v| (v - 2.0 * n as f32).abs() < 1e-3));
+        assert!(c
+            .as_slice()
+            .iter()
+            .all(|&v| (v - 2.0 * n as f32).abs() < 1e-3));
     }
 
     #[test]
@@ -302,7 +313,10 @@ mod tests {
         let a = t(vec![5, 7], (0..35).map(|v| (v as f32).sin()).collect());
         let b = t(vec![7, 3], (0..21).map(|v| (v as f32).cos()).collect());
         let bt = b.transpose();
-        let x = t(vec![5, 4], (0..20).map(|v| (v as f32) * 0.3 - 2.0).collect());
+        let x = t(
+            vec![5, 4],
+            (0..20).map(|v| (v as f32) * 0.3 - 2.0).collect(),
+        );
         let y = t(vec![5, 6], (0..30).map(|v| (v as f32).sqrt()).collect());
         let v = t(vec![7], (0..7).map(|v| v as f32 - 3.0).collect());
         let serial = with_exec(ExecConfig::serial(), || {
@@ -314,7 +328,10 @@ mod tests {
             )
         });
         for workers in [2usize, 3, 7] {
-            let cfg = ExecConfig { workers, force_parallel: true };
+            let cfg = ExecConfig {
+                workers,
+                force_parallel: true,
+            };
             let par = with_exec(cfg, || {
                 (
                     a.matmul(&b).unwrap(),
@@ -324,8 +341,16 @@ mod tests {
                 )
             });
             assert_eq!(par.0.as_slice(), serial.0.as_slice(), "matmul @ {workers}");
-            assert_eq!(par.1.as_slice(), serial.1.as_slice(), "matmul_bt @ {workers}");
-            assert_eq!(par.2.as_slice(), serial.2.as_slice(), "matmul_at @ {workers}");
+            assert_eq!(
+                par.1.as_slice(),
+                serial.1.as_slice(),
+                "matmul_bt @ {workers}"
+            );
+            assert_eq!(
+                par.2.as_slice(),
+                serial.2.as_slice(),
+                "matmul_at @ {workers}"
+            );
             assert_eq!(par.3.as_slice(), serial.3.as_slice(), "matvec @ {workers}");
         }
     }

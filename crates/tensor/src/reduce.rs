@@ -36,12 +36,18 @@ impl Tensor {
 
     /// Maximum element; `f32::NEG_INFINITY` for an empty tensor.
     pub fn max(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::NEG_INFINITY, f32::max)
     }
 
     /// Minimum element; `f32::INFINITY` for an empty tensor.
     pub fn min(&self) -> f32 {
-        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+        self.as_slice()
+            .iter()
+            .copied()
+            .fold(f32::INFINITY, f32::min)
     }
 
     /// Column sums of a rank-2 tensor (reduction over axis 0), as a rank-1
@@ -206,10 +212,16 @@ mod tests {
     #[test]
     fn forced_parallel_sum_axis0_bit_matches_serial() {
         use pelican_runtime::{with_exec, ExecConfig};
-        let a = t(vec![9, 5], (0..45).map(|v| (v as f32).sin() * 3.7).collect());
+        let a = t(
+            vec![9, 5],
+            (0..45).map(|v| (v as f32).sin() * 3.7).collect(),
+        );
         let serial = with_exec(ExecConfig::serial(), || a.sum_axis0().unwrap());
         for workers in [2usize, 3, 7] {
-            let cfg = ExecConfig { workers, force_parallel: true };
+            let cfg = ExecConfig {
+                workers,
+                force_parallel: true,
+            };
             let par = with_exec(cfg, || a.sum_axis0().unwrap());
             assert_eq!(par.as_slice(), serial.as_slice(), "sum_axis0 @ {workers}");
         }

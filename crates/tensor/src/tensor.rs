@@ -145,7 +145,10 @@ impl Tensor {
         );
         let mut off = 0;
         for (i, (&ix, &dim)) in index.iter().zip(&self.shape).enumerate() {
-            assert!(ix < dim, "index {ix} out of bounds for axis {i} (size {dim})");
+            assert!(
+                ix < dim,
+                "index {ix} out of bounds for axis {i} (size {dim})"
+            );
             off = off * dim + ix;
         }
         off
@@ -511,9 +514,11 @@ mod tests {
         let ok = Tensor::from_vec(vec![3], vec![1.0, -2.0, 0.0]).unwrap();
         assert!(ok.is_all_finite());
         assert_eq!(ok.count_non_finite(), 0);
-        let bad =
-            Tensor::from_vec(vec![4], vec![f32::NAN, 1.0, f32::INFINITY, f32::NEG_INFINITY])
-                .unwrap();
+        let bad = Tensor::from_vec(
+            vec![4],
+            vec![f32::NAN, 1.0, f32::INFINITY, f32::NEG_INFINITY],
+        )
+        .unwrap();
         assert!(!bad.is_all_finite());
         assert_eq!(bad.count_non_finite(), 3);
         assert!(Tensor::zeros(vec![0]).is_all_finite());

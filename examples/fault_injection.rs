@@ -91,7 +91,10 @@ fn main() {
         },
     )
     .to_vec();
-    println!("   v2 checkpoint: {} bytes (params + optimizer state + CRC-32)", bytes.len());
+    println!(
+        "   v2 checkpoint: {} bytes (params + optimizer state + CRC-32)",
+        bytes.len()
+    );
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0x01;
     match io::checkpoint_from_bytes(&mut net, &bytes) {
@@ -107,7 +110,11 @@ fn main() {
         windows: 30,
         flows_per_window: 50,
     })
-    .run(TrafficStream::nslkdd(0.3, 13), detector, Analyst::new(2, 120.0));
+    .run(
+        TrafficStream::nslkdd(0.3, 13),
+        detector,
+        Analyst::new(2, 120.0),
+    );
     println!(
         "   [{}] {} flows | DR {:.1}% FAR {:.2}% | {} of 30 windows degraded to fallback",
         report.detector,

@@ -51,7 +51,10 @@ fn main() {
     let c = &result.confusion;
     println!("\nheld-out fold ({} records):", c.total());
     println!("  TP {} | TN {} | FP {} | FN {}", c.tp, c.tn, c.fp, c.fn_);
-    println!("  DR  {:.2}%  (paper Residual-41 on NSL-KDD: 99.13%)", 100.0 * c.detection_rate());
+    println!(
+        "  DR  {:.2}%  (paper Residual-41 on NSL-KDD: 99.13%)",
+        100.0 * c.detection_rate()
+    );
     println!("  ACC {:.2}%  (paper: 99.21%)", 100.0 * c.accuracy());
     println!("  FAR {:.2}%  (paper: 0.65%)", 100.0 * c.false_alarm_rate());
 }

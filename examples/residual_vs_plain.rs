@@ -24,7 +24,10 @@ fn main() {
         seed: 42,
     };
 
-    println!("depth sweep on {} ({} records, {} epochs)\n", cfg.dataset, cfg.samples, cfg.epochs);
+    println!(
+        "depth sweep on {} ({} records, {} epochs)\n",
+        cfg.dataset, cfg.samples, cfg.epochs
+    );
     println!(
         "{:>7} | {:>17} | {:>17} | {:>17} | {:>17}",
         "layers", "plain train-loss", "resid train-loss", "plain test-acc", "resid test-acc"

@@ -6,17 +6,24 @@
 # The suite runs twice — PELICAN_THREADS=1 (pure serial paths) and
 # PELICAN_THREADS=4 (pooled kernels, concurrent folds, parallel window
 # scoring) — because the engine's contract is that both produce identical
-# results. Set PELICAN_BENCH=1 to also run the parallel-scaling bench
-# (writes BENCH_parallel.json at the repo root).
+# results, and the pipeline chaos test re-runs explicitly at both counts
+# (it asserts bit-identical SimReports). Formatting and rustdoc are gated
+# alongside clippy. Set PELICAN_BENCH=1 to also run the parallel-scaling
+# bench (writes BENCH_parallel.json at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release
+cargo fmt --check
 echo "== tests @ PELICAN_THREADS=1 =="
 PELICAN_THREADS=1 cargo test -q
 echo "== tests @ PELICAN_THREADS=4 =="
 PELICAN_THREADS=4 cargo test -q
+echo "== pipeline chaos @ PELICAN_THREADS=1 and 4 =="
+PELICAN_THREADS=1 cargo test -q --test pipeline_resilience
+PELICAN_THREADS=4 cargo test -q --test pipeline_resilience
 cargo clippy --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 if [[ "${PELICAN_BENCH:-0}" == "1" ]]; then
     cargo bench -p pelican-bench --bench bench_parallel_scaling
 fi

@@ -63,12 +63,22 @@ fn parse(args: &[String]) -> Result<CliArgs, String> {
                     other => return Err(format!("unknown dataset '{other}'")),
                 }
             }
-            "--blocks" => out.blocks = take(&mut i)?.parse().map_err(|e| format!("--blocks: {e}"))?,
+            "--blocks" => {
+                out.blocks = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--blocks: {e}"))?
+            }
             "--plain" => out.residual = false,
             "--samples" => {
-                out.samples = take(&mut i)?.parse().map_err(|e| format!("--samples: {e}"))?
+                out.samples = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--samples: {e}"))?
             }
-            "--epochs" => out.epochs = take(&mut i)?.parse().map_err(|e| format!("--epochs: {e}"))?,
+            "--epochs" => {
+                out.epochs = take(&mut i)?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
             "--batch" => out.batch = take(&mut i)?.parse().map_err(|e| format!("--batch: {e}"))?,
             "--seed" => out.seed = take(&mut i)?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--save" => out.save = Some(take(&mut i)?),
@@ -107,7 +117,10 @@ fn cmd_info() {
             arch.param_layers()
         );
     }
-    println!("\npaper training settings:\n  {:?}", ExpConfig::paper(DatasetKind::UnswNb15));
+    println!(
+        "\npaper training settings:\n  {:?}",
+        ExpConfig::paper(DatasetKind::UnswNb15)
+    );
 }
 
 fn print_metrics(preds: &[usize], labels: &[usize], dataset: DatasetKind) {
@@ -182,7 +195,10 @@ fn cmd_train(cli: &CliArgs) -> Result<(), String> {
         )
         .map_err(|e| e.to_string())?;
     if history.total_recoveries > 0 {
-        println!("recovered from {} training fault(s)", history.total_recoveries);
+        println!(
+            "recovered from {} training fault(s)",
+            history.total_recoveries
+        );
     }
     let preds = predict(&mut net, &split.x_test, cfg.batch_size);
     print_metrics(&preds, &split.y_test, cfg.dataset);

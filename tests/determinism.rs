@@ -26,10 +26,7 @@ fn identical_configs_give_identical_runs() {
     let a = run_network(Arch::Residual { blocks: 1 }, &cfg);
     let b = run_network(Arch::Residual { blocks: 1 }, &cfg);
     assert_eq!(a.confusion, b.confusion);
-    assert_eq!(
-        a.history.final_train_loss(),
-        b.history.final_train_loss()
-    );
+    assert_eq!(a.history.final_train_loss(), b.history.final_train_loss());
     assert_eq!(a.multiclass_acc, b.multiclass_acc);
 }
 
@@ -120,10 +117,7 @@ fn training_is_bit_identical_across_thread_counts() {
     let (epochs_1, params_1) = short_training_run(1);
     for threads in [2usize, 4] {
         let (epochs_n, params_n) = short_training_run(threads);
-        assert_eq!(
-            epochs_n, epochs_1,
-            "history diverged at {threads} threads"
-        );
+        assert_eq!(epochs_n, epochs_1, "history diverged at {threads} threads");
         assert_eq!(
             params_n, params_1,
             "trained parameters diverged at {threads} threads"
@@ -149,7 +143,10 @@ fn kfold_cv_is_identical_across_thread_counts() {
     for threads in [2usize, 4] {
         let par = with_workers(threads, || run_kfold(arch, &cfg, 10));
         assert_eq!(par.folds.len(), serial.folds.len());
-        assert_eq!(par.total, serial.total, "total confusion @ {threads} threads");
+        assert_eq!(
+            par.total, serial.total,
+            "total confusion @ {threads} threads"
+        );
         assert_eq!(
             par.mean_multiclass_acc, serial.mean_multiclass_acc,
             "mean accuracy @ {threads} threads"
@@ -217,7 +214,14 @@ fn kill_and_resume_is_bit_exact_across_thread_count_change() {
     // Uninterrupted serial 6-epoch run.
     let mut a = fresh_net();
     Trainer::new(config(6, 1, &dir_a))
-        .fit(&mut a, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &labels, None)
+        .fit(
+            &mut a,
+            &SoftmaxCrossEntropy,
+            &mut RmsProp::new(0.01),
+            &x,
+            &labels,
+            None,
+        )
         .expect("run A");
 
     // Killed after 3 epochs at 4 threads; resumed to 6 at 1 thread —
@@ -226,11 +230,25 @@ fn kill_and_resume_is_bit_exact_across_thread_count_change() {
     // exact same parameters.
     let mut b = fresh_net();
     Trainer::new(config(3, 4, &dir_b))
-        .fit(&mut b, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &labels, None)
+        .fit(
+            &mut b,
+            &SoftmaxCrossEntropy,
+            &mut RmsProp::new(0.01),
+            &x,
+            &labels,
+            None,
+        )
         .expect("run B part 1");
     let mut b2 = fresh_net();
     let hist = Trainer::new(config(6, 1, &dir_b))
-        .fit(&mut b2, &SoftmaxCrossEntropy, &mut RmsProp::new(0.01), &x, &labels, None)
+        .fit(
+            &mut b2,
+            &SoftmaxCrossEntropy,
+            &mut RmsProp::new(0.01),
+            &x,
+            &labels,
+            None,
+        )
         .expect("run B part 2");
     assert_eq!(hist.resumed_from_epoch, Some(3));
     assert_eq!(

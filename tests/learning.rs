@@ -65,7 +65,10 @@ fn training_loss_decreases_monotonically_enough() {
         losses.last().unwrap() < losses.first().unwrap(),
         "loss did not decrease: {losses:?}"
     );
-    assert!(losses.iter().all(|l| l.is_finite()), "loss diverged: {losses:?}");
+    assert!(
+        losses.iter().all(|l| l.is_finite()),
+        "loss diverged: {losses:?}"
+    );
 }
 
 /// Classical baselines also learn the synthetic data (the Table-V harness

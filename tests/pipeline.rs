@@ -32,7 +32,10 @@ fn full_pipeline_produces_sane_metrics_on_both_datasets() {
             result.confusion.false_alarm_rate(),
             result.multiclass_acc,
         ] {
-            assert!((0.0..=1.0).contains(&v), "{dataset}: metric {v} out of range");
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{dataset}: metric {v} out of range"
+            );
         }
     }
 }

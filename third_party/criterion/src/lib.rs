@@ -99,7 +99,10 @@ impl Criterion {
         let mut bencher = Bencher::new(self.sample_size);
         f(&mut bencher);
         let mean = bencher.elapsed / bencher.iterations.max(1) as u32;
-        println!("{name:<40} {mean:>12.2?}/iter ({} iters)", bencher.iterations);
+        println!(
+            "{name:<40} {mean:>12.2?}/iter ({} iters)",
+            bencher.iterations
+        );
         self
     }
 }

@@ -32,11 +32,7 @@ pub trait Strategy {
     }
 
     /// Rejects values failing the predicate (resampling up to a bound).
-    fn prop_filter<F: Fn(&Self::Value) -> bool>(
-        self,
-        reason: &'static str,
-        f: F,
-    ) -> Filter<Self, F>
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, reason: &'static str, f: F) -> Filter<Self, F>
     where
         Self: Sized,
     {
