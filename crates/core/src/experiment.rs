@@ -389,15 +389,39 @@ fn run_fold(
 pub fn run_kfold(arch: Arch, cfg: &ExpConfig, k: usize) -> KFoldResult {
     let raw = cfg.dataset.generate(cfg.samples, cfg.seed);
     let splits = pelican_data::KFold::new(k, cfg.seed ^ 0xF01D).splits(raw.len());
-    let folds = Pool::current().map(splits.len(), |fold_id| {
+    // With observability live, each fold records into its own recorder;
+    // the per-fold snapshots are folded in fold order by `tree_reduce`
+    // and absorbed into the ambient recorder as one report, so the merged
+    // result is independent of which worker ran which fold.
+    let observing = pelican_observe::enabled();
+    let outcomes = Pool::current().map(splits.len(), |fold_id| {
         let (train_idx, test_idx) = &splits[fold_id];
         // Worker threads carry no execution override; pin the fold's own
         // kernels to the serial path so k concurrent folds cannot
         // oversubscribe the machine.
-        with_workers(1, || {
-            run_fold(arch, cfg, &raw, fold_id, train_idx, test_idx)
-        })
+        let run = || {
+            with_workers(1, || {
+                run_fold(arch, cfg, &raw, fold_id, train_idx, test_idx)
+            })
+        };
+        if observing {
+            let rec = std::sync::Arc::new(pelican_observe::InMemoryRecorder::new());
+            let fold = pelican_observe::with_recorder(rec.clone(), run);
+            (fold, pelican_observe::Recorder::snapshot(&*rec))
+        } else {
+            (run(), None)
+        }
     });
+    let (folds, snaps): (Vec<_>, Vec<_>) = outcomes.into_iter().unzip();
+    if observing {
+        let merged = tree_reduce(
+            snaps.into_iter().flatten().collect(),
+            pelican_observe::Snapshot::merged,
+        );
+        if let Some(merged) = merged {
+            pelican_observe::current().absorb(merged);
+        }
+    }
     let total = tree_reduce(folds.iter().map(|f| f.confusion).collect(), |mut a, b| {
         a.merge(&b);
         a
@@ -444,6 +468,13 @@ fn serialize_result(r: &RunResult) -> String {
             e.recoveries,
         ));
     }
+    if !r.history.epoch_secs.is_empty() {
+        out.push_str("epoch_secs");
+        for s in &r.history.epoch_secs {
+            out.push_str(&format!(" {s}"));
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -481,6 +512,13 @@ fn deserialize_result(text: &str) -> Option<RunResult> {
                     recoveries,
                 });
                 history.total_recoveries += recoveries;
+            }
+            // Wall-clock seconds per epoch (caches written before the
+            // field existed simply lack the line).
+            "epoch_secs" => {
+                for v in parts {
+                    history.epoch_secs.push(v.parse().ok()?);
+                }
             }
             _ => return None,
         }
@@ -578,6 +616,7 @@ mod tests {
                     test_acc: Some(0.75),
                     recoveries: 2,
                 }],
+                epoch_secs: vec![1.25],
                 total_recoveries: 2,
                 resumed_from_epoch: None,
             },
@@ -595,6 +634,7 @@ mod tests {
         assert_eq!(back.confusion, result.confusion);
         assert_eq!(back.history.epochs.len(), 1);
         assert_eq!(back.history.epochs[0].test_acc, Some(0.75));
+        assert_eq!(back.history.epoch_secs, vec![1.25]);
         assert!((back.multiclass_acc - 0.77).abs() < 1e-6);
     }
 
@@ -648,6 +688,35 @@ mod tests {
         assert!((0.0..=1.0).contains(&result.mean_multiclass_acc));
         let fold_sum: usize = result.folds.iter().map(|f| f.confusion.total()).sum();
         assert_eq!(fold_sum, 60);
+    }
+
+    #[test]
+    fn kfold_merges_per_fold_recorders_into_ambient() {
+        use pelican_observe::Recorder as _;
+        let cfg = ExpConfig {
+            dataset: DatasetKind::NslKdd,
+            samples: 60,
+            epochs: 1,
+            batch_size: 16,
+            learning_rate: 0.01,
+            kernel: 10,
+            dropout: 0.0,
+            test_fraction: 0.1,
+            seed: 5,
+        };
+        let rec = std::sync::Arc::new(pelican_observe::InMemoryRecorder::new());
+        let result = pelican_observe::with_recorder(rec.clone(), || {
+            run_kfold(Arch::Residual { blocks: 1 }, &cfg, 3)
+        });
+        assert_eq!(result.folds.len(), 3);
+        let snap = rec.snapshot().unwrap();
+        // One `fit` span per fold survived the merge.
+        assert_eq!(snap.spans["fit"].count, 3);
+        assert_eq!(snap.spans["fit/epoch"].count, 3);
+        // Kernel FLOP counters accumulated across folds.
+        assert!(snap.counters["tensor.matmul_flops"] > 0);
+        // Training gauges exist post-merge.
+        assert!(snap.gauges.contains_key("train.loss"));
     }
 
     #[test]

@@ -87,6 +87,11 @@ impl Layer for Conv1d {
     fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
         let (b, t, c) = btc(input.shape());
         assert_eq!(c, self.in_channels, "conv1d channel mismatch");
+        pelican_observe::counter_add("tensor.conv_calls", 1);
+        pelican_observe::counter_add(
+            "tensor.conv_flops",
+            2 * (b * t * self.kernel * self.in_channels * self.out_channels) as u64,
+        );
         let rank3 = input.reshape(vec![b, t, c]).expect("conv input promote");
         let pad = self.pad_left();
 

@@ -74,6 +74,7 @@ impl Layer for Sequential {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let mut x = input.clone();
         for layer in &mut self.layers {
+            let _span = pelican_observe::span(layer.name());
             x = layer.forward(&x, mode);
         }
         x
@@ -82,6 +83,7 @@ impl Layer for Sequential {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let mut g = grad_out.clone();
         for layer in self.layers.iter_mut().rev() {
+            let _span = pelican_observe::span(layer.name());
             g = layer.backward(&g);
         }
         g

@@ -30,6 +30,7 @@ use crate::io::{self, CheckpointMeta};
 use crate::loss::Loss;
 use crate::optim::Optimizer;
 use crate::{Layer, Mode};
+use pelican_observe as observe;
 use pelican_tensor::{SeededRng, Tensor};
 use std::error::Error;
 use std::fmt;
@@ -57,6 +58,14 @@ pub struct EpochStats {
 pub struct History {
     /// One entry per epoch, in order.
     pub epochs: Vec<EpochStats>,
+    /// Wall-clock seconds per completed epoch, aligned with
+    /// [`epochs`](Self::epochs) (retries included in their epoch's time).
+    /// Measured unconditionally — this is the run artifact the paper's
+    /// Table VI training-time comparisons are reproduced from. Kept out of
+    /// [`EpochStats`] so equality of stats stays a statement about the
+    /// *trajectory*, which is bit-identical across thread counts; elapsed
+    /// time never is.
+    pub epoch_secs: Vec<f64>,
     /// Total fault rollbacks across all epochs.
     pub total_recoveries: usize,
     /// Epoch of the checkpoint this run resumed from, if any.
@@ -77,6 +86,11 @@ impl History {
     /// Final epoch's test accuracy.
     pub fn final_test_acc(&self) -> Option<f32> {
         self.epochs.last().and_then(|e| e.test_acc)
+    }
+
+    /// Total wall-clock seconds across all completed epochs.
+    pub fn total_train_secs(&self) -> f64 {
+        self.epoch_secs.iter().sum()
     }
 }
 
@@ -362,6 +376,7 @@ impl Trainer {
         let mut history = History::default();
         let bs = self.config.batch_size.max(1);
         let policy = self.config.recovery.as_ref();
+        let _fit_span = observe::span("fit");
 
         let mut start_epoch = 1usize;
         if let Some(dir) = &self.config.checkpoint_dir {
@@ -372,6 +387,7 @@ impl Trainer {
                     optimizer.set_learning_rate(meta.learning_rate);
                     start_epoch = meta.epoch + 1;
                     history.resumed_from_epoch = Some(meta.epoch);
+                    observe::event("trainer.resume", &[("epoch", meta.epoch.into())]);
                     if self.config.verbose {
                         eprintln!("resuming from {} (epoch {})", path.display(), meta.epoch);
                     }
@@ -387,6 +403,11 @@ impl Trainer {
         let mut prev_train_loss: Option<f32> = None;
 
         for epoch in start_epoch..=self.config.epochs {
+            // The trainer's logical clock is the epoch number: events and
+            // gauges recorded from here on are stamped with it, keeping the
+            // export free of wall-clock values.
+            observe::set_tick(epoch as u64);
+            let epoch_timer = observe::span_timed("epoch");
             let mut retries = 0usize;
             let (train_loss, train_acc) = loop {
                 let seed = epoch_seed(self.config.shuffle_seed, epoch, retries);
@@ -422,6 +443,14 @@ impl Trainer {
                 snap.restore(model);
                 let lr = snap.lr * policy.lr_backoff.powi(retries as i32);
                 optimizer.set_learning_rate(lr);
+                observe::event(
+                    "trainer.rollback",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("retry", retries.into()),
+                        ("lr", (lr as f64).into()),
+                    ],
+                );
                 if self.config.verbose {
                     eprintln!(
                         "epoch {epoch}: fault ({fault}); rolled back, retry \
@@ -430,10 +459,15 @@ impl Trainer {
                     );
                 }
             };
+            let epoch_elapsed = epoch_timer.finish();
             prev_train_loss = Some(train_loss);
+            observe::gauge("train.loss", train_loss as f64);
+            observe::gauge("train.acc", train_acc as f64);
+            observe::gauge("train.lr", optimizer.learning_rate() as f64);
 
             let (test_loss, test_acc) = match eval {
                 Some((xt, yt)) => {
+                    let _span = observe::span("evaluate");
                     let (l, a) = evaluate(model, loss, xt, yt, bs);
                     (Some(l), Some(a))
                 }
@@ -458,6 +492,7 @@ impl Trainer {
                 test_acc,
                 recoveries: retries,
             });
+            history.epoch_secs.push(epoch_elapsed.as_secs_f64());
 
             if let Some(decay) = self.config.lr_decay {
                 optimizer.set_learning_rate(optimizer.learning_rate() * decay);
@@ -487,6 +522,10 @@ impl Trainer {
                         if self.config.verbose {
                             eprintln!("early stop at epoch {epoch} (patience {patience})");
                         }
+                        observe::event(
+                            "trainer.early_stop",
+                            &[("epoch", epoch.into()), ("patience", patience.into())],
+                        );
                         break;
                     }
                 }
@@ -524,12 +563,18 @@ impl Trainer {
             let yb: Vec<usize> = batch.iter().map(|&i| y[i]).collect();
 
             model.zero_grad();
-            let out = model.forward(&xb, Mode::Train);
+            let out = {
+                let _span = observe::span("forward");
+                model.forward(&xb, Mode::Train)
+            };
             let (l, dout) = loss.loss(&out, &yb);
             if !l.is_finite() {
                 return Err(format!("minibatch loss is {l}"));
             }
-            model.backward(&dout);
+            {
+                let _span = observe::span("backward");
+                model.backward(&dout);
+            }
             if check_grads {
                 let bad: usize = model
                     .params_mut()
@@ -543,7 +588,10 @@ impl Trainer {
             if let Some(max_norm) = self.config.grad_clip {
                 clip_global_norm(&mut model.params_mut(), max_norm);
             }
-            optimizer.step(&mut model.params_mut());
+            {
+                let _span = observe::span("optimizer");
+                optimizer.step(&mut model.params_mut());
+            }
             if check_grads {
                 let bad: usize = model
                     .params_mut()
@@ -1041,6 +1089,81 @@ mod tests {
             hist.total_recoveries,
             hist.epochs.iter().map(|e| e.recoveries).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn history_measures_epoch_times_and_records_observability() {
+        use pelican_observe::Recorder as _;
+        use std::sync::Arc;
+        let (x, y) = blobs(10, 50);
+        let rec = Arc::new(pelican_observe::InMemoryRecorder::new());
+        let hist = pelican_observe::with_recorder(rec.clone(), || {
+            let mut rng = SeededRng::new(0);
+            let mut net = Sequential::new();
+            net.push(Dense::new(2, 2, &mut rng));
+            Trainer::new(TrainerConfig {
+                epochs: 3,
+                ..Default::default()
+            })
+            .fit(
+                &mut net,
+                &SoftmaxCrossEntropy,
+                &mut Sgd::new(0.1),
+                &x,
+                &y,
+                Some((&x, &y)),
+            )
+            .expect("training")
+        });
+        // Epoch times are measured whether or not a recorder is live.
+        assert_eq!(hist.epoch_secs.len(), hist.epochs.len());
+        assert!(hist.epoch_secs.iter().all(|&s| s >= 0.0));
+        assert!(hist.total_train_secs() >= hist.epoch_secs[0]);
+        let snap = rec.snapshot().unwrap();
+        assert_eq!(snap.spans["fit/epoch"].count, 3);
+        // Evaluation happens outside the epoch timer (training time only).
+        assert_eq!(snap.spans["fit/evaluate"].count, 3);
+        assert!(
+            snap.spans.contains_key("fit/epoch/forward/dense"),
+            "per-layer span missing: {:?}",
+            snap.spans.keys().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            snap.gauges["train.loss"].stamp, 3,
+            "gauge stamped with final epoch tick"
+        );
+    }
+
+    #[test]
+    fn rollbacks_emit_events() {
+        use pelican_observe::Recorder as _;
+        use std::sync::Arc;
+        let (x, y) = blobs(10, 31);
+        let rec = Arc::new(pelican_observe::InMemoryRecorder::new());
+        let err = pelican_observe::with_recorder(rec.clone(), || {
+            let mut rng = SeededRng::new(0);
+            let mut net = Sequential::new();
+            net.push(Dense::new(2, 2, &mut rng));
+            Trainer::new(TrainerConfig {
+                epochs: 3,
+                recovery: Some(RecoveryPolicy {
+                    max_retries_per_epoch: 2,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            })
+            .fit(&mut net, &NanLoss, &mut Sgd::new(0.1), &x, &y, None)
+            .unwrap_err()
+        });
+        assert!(matches!(err, TrainError::Unrecoverable { .. }));
+        let snap = rec.snapshot().unwrap();
+        let rollbacks: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.name == "trainer.rollback")
+            .collect();
+        assert_eq!(rollbacks.len(), 2, "one event per retry");
+        assert!(rollbacks.iter().all(|e| e.tick == 1), "stamped with epoch");
     }
 
     #[test]

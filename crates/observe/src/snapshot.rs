@@ -1,0 +1,726 @@
+//! The mergeable data model behind a recorder: counters, gauges,
+//! histograms, span statistics and the event journal, plus the JSONL
+//! export and the human-readable summary.
+//!
+//! A [`Snapshot`] is plain data — everything a recorder accumulated,
+//! detached from any lock. Snapshots are the unit of cross-thread and
+//! cross-fold reduction: [`Snapshot::merge`] is commutative and
+//! associative for every instrument (counter sums, bucket-wise histogram
+//! sums, span min/max/total, gauge last-write resolved by stamp), so
+//! per-worker recordings can be folded in any order — including through
+//! `tree_reduce` — and produce the same result as one recorder observing
+//! the whole run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Unsigned integer (ids, counts, ticks).
+    U64(u64),
+    /// Floating point (losses, rates).
+    F64(f64),
+    /// Short text (state names, fault details).
+    Str(String),
+}
+
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+
+impl From<f32> for FieldValue {
+    fn from(v: f32) -> Self {
+        FieldValue::F64(v as f64)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+impl FieldValue {
+    fn render_json(&self, out: &mut String) {
+        match self {
+            FieldValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            FieldValue::F64(v) => push_json_f64(out, *v),
+            FieldValue::Str(s) => push_json_str(out, s),
+        }
+    }
+}
+
+/// One journal entry: a named event stamped with a virtual tick (or a
+/// wall-clock stamp when the recorder never saw a tick — see
+/// [`crate::Recorder::set_tick`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Stamp: virtual-clock tick in tick mode, elapsed wall-clock
+    /// microseconds otherwise.
+    pub tick: u64,
+    /// Static event name (e.g. `pipeline.shed`).
+    pub name: String,
+    /// Ordered key/value payload.
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl EventRecord {
+    fn fields_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_json_str(&mut out, k);
+            out.push(':');
+            v.render_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+
+    /// Total order used when merging journals from several recorders:
+    /// tick first, then name, then the rendered payload. Within one
+    /// recorder the journal keeps insertion order; a merge sorts by this
+    /// key so the combined journal is independent of merge order.
+    fn sort_key(&self) -> (u64, &str, String) {
+        (self.tick, &self.name, self.fields_json())
+    }
+}
+
+/// Aggregated timing statistics of one span path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Times the span was entered and exited.
+    pub count: u64,
+    /// Total nanoseconds across all entries (wall clock — diagnostic,
+    /// never part of the deterministic export).
+    pub total_nanos: u64,
+    /// Fastest single entry.
+    pub min_nanos: u64,
+    /// Slowest single entry.
+    pub max_nanos: u64,
+}
+
+impl SpanStats {
+    /// Statistics of a single observation.
+    pub fn one(nanos: u64) -> Self {
+        Self {
+            count: 1,
+            total_nanos: nanos,
+            min_nanos: nanos,
+            max_nanos: nanos,
+        }
+    }
+
+    /// Folds another observation set into this one (commutative).
+    pub fn merge(&mut self, other: &SpanStats) {
+        self.count += other.count;
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        self.min_nanos = self.min_nanos.min(other.min_nanos);
+        self.max_nanos = self.max_nanos.max(other.max_nanos);
+    }
+}
+
+/// Last-write-wins instrument with extremes and a set count.
+///
+/// The "last" write is resolved by `(stamp, value bits)`: the highest
+/// stamp wins, and equal stamps fall back to the larger bit pattern so a
+/// merge of recorders is deterministic and order-independent. Callers
+/// that need merged gauges to match a single-recorder run must stamp
+/// sets with strictly increasing ticks (the streaming pipeline and the
+/// trainer both do).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gauge {
+    /// Most recent value (by stamp).
+    pub value: f64,
+    /// Stamp of the most recent set.
+    pub stamp: u64,
+    /// Number of sets folded in.
+    pub sets: u64,
+    /// Smallest value ever set.
+    pub min: f64,
+    /// Largest value ever set — the high-water mark.
+    pub max: f64,
+}
+
+impl Gauge {
+    /// Gauge state after a single set.
+    pub fn one(value: f64, stamp: u64) -> Self {
+        Self {
+            value,
+            stamp,
+            sets: 1,
+            min: value,
+            max: value,
+        }
+    }
+
+    fn set(&mut self, value: f64, stamp: u64) {
+        self.sets += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        if stamp >= self.stamp {
+            self.stamp = stamp;
+            self.value = value;
+        }
+    }
+
+    /// Folds another gauge's history into this one (commutative).
+    pub fn merge(&mut self, other: &Gauge) {
+        self.sets += other.sets;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mine = (self.stamp, self.value.to_bits());
+        let theirs = (other.stamp, other.value.to_bits());
+        if theirs > mine {
+            self.stamp = other.stamp;
+            self.value = other.value;
+        }
+    }
+}
+
+/// Number of log₂ buckets a [`Histogram`] carries: bucket `i` holds
+/// values whose bit length is `i` (bucket 0 is exactly zero, bucket 1 is
+/// exactly one, bucket 5 is `16..=31`, …, bucket 64 is `2⁶³..=u64::MAX`).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Fixed-bucket log-scale histogram of `u64` observations.
+///
+/// The bucket layout is fixed, so merging two histograms is a lossless
+/// bucket-wise sum — no rebinning, no approximation drift — which is what
+/// lets per-thread and per-fold recordings reduce to exactly the
+/// histogram a single recorder would have built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Observation count per log₂ bucket.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (saturating).
+    pub sum: u64,
+    /// Smallest observation.
+    pub min: u64,
+    /// Largest observation.
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Bucket index of `value`: its bit length.
+    pub fn bucket_of(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// Histogram holding a single observation.
+    pub fn one(value: u64) -> Self {
+        let mut h = Self {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        };
+        h.record(value);
+        h
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean observation (0 for an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lossless bucket-wise merge (commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Everything a recorder accumulated, as plain mergeable data.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic sums keyed by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write instruments keyed by name.
+    pub gauges: BTreeMap<String, Gauge>,
+    /// Log-scale histograms keyed by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// Span timing statistics keyed by `/`-joined call path.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// The event journal, oldest first.
+    pub events: Vec<EventRecord>,
+    /// Events evicted from the ring buffer before this snapshot.
+    pub dropped_events: u64,
+}
+
+impl Snapshot {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.histograms.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+            && self.dropped_events == 0
+    }
+
+    /// Records into this snapshot (used by the in-memory recorder, which
+    /// is a lock around one of these plus the journal ring).
+    pub(crate) fn counter_add(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += delta;
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &str, value: f64, stamp: u64) {
+        self.gauges
+            .entry(name.to_string())
+            .and_modify(|g| g.set(value, stamp))
+            .or_insert_with(|| Gauge::one(value, stamp));
+    }
+
+    pub(crate) fn histogram_record(&mut self, name: &str, value: u64) {
+        self.histograms
+            .entry(name.to_string())
+            .and_modify(|h| h.record(value))
+            .or_insert_with(|| Histogram::one(value));
+    }
+
+    pub(crate) fn span_record(&mut self, path: &str, nanos: u64) {
+        self.spans
+            .entry(path.to_string())
+            .and_modify(|s| s.merge(&SpanStats::one(nanos)))
+            .or_insert_with(|| SpanStats::one(nanos));
+    }
+
+    /// Folds `other` into `self`. Commutative and associative across
+    /// every instrument; merged journals are re-sorted by
+    /// `(tick, name, payload)` so the result is independent of the order
+    /// recorders are combined in.
+    pub fn merge(&mut self, other: &Snapshot) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += delta;
+        }
+        for (name, gauge) in &other.gauges {
+            self.gauges
+                .entry(name.clone())
+                .and_modify(|g| g.merge(gauge))
+                .or_insert(*gauge);
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .and_modify(|h| h.merge(hist))
+                .or_insert_with(|| hist.clone());
+        }
+        for (path, span) in &other.spans {
+            self.spans
+                .entry(path.clone())
+                .and_modify(|s| s.merge(span))
+                .or_insert(*span);
+        }
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        self.dropped_events += other.dropped_events;
+    }
+
+    /// Consuming merge, shaped for `tree_reduce`.
+    pub fn merged(mut self, other: Snapshot) -> Snapshot {
+        self.merge(&other);
+        self
+    }
+
+    /// Exports the snapshot as JSON Lines: one self-describing object per
+    /// line, instruments sorted by name, events in journal order.
+    ///
+    /// The export contains **no wall-clock values**: span lines carry only
+    /// the entry count (timings stay in [`summary`](Self::summary)), and
+    /// event/gauge stamps are virtual-clock ticks whenever the recorder
+    /// was driven by one. A run whose instruments are pure functions of
+    /// its inputs therefore exports bit-identical JSONL at every
+    /// `PELICAN_THREADS` setting.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"meta\",\"events\":{},\"dropped_events\":{}}}",
+            self.events.len(),
+            self.dropped_events
+        );
+        for (name, value) in &self.counters {
+            out.push_str("{\"type\":\"counter\",\"name\":");
+            push_json_str(&mut out, name);
+            let _ = writeln!(out, ",\"value\":{value}}}");
+        }
+        for (name, g) in &self.gauges {
+            out.push_str("{\"type\":\"gauge\",\"name\":");
+            push_json_str(&mut out, name);
+            out.push_str(",\"value\":");
+            push_json_f64(&mut out, g.value);
+            out.push_str(",\"min\":");
+            push_json_f64(&mut out, g.min);
+            out.push_str(",\"max\":");
+            push_json_f64(&mut out, g.max);
+            let _ = writeln!(out, ",\"stamp\":{},\"sets\":{}}}", g.stamp, g.sets);
+        }
+        for (name, h) in &self.histograms {
+            out.push_str("{\"type\":\"histogram\",\"name\":");
+            push_json_str(&mut out, name);
+            let _ = write!(
+                out,
+                ",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":{{",
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max
+            );
+            let mut first = true;
+            for (i, b) in h.buckets.iter().enumerate() {
+                if *b > 0 {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "\"{i}\":{b}");
+                }
+            }
+            out.push_str("}}\n");
+        }
+        for (path, s) in &self.spans {
+            // Counts only: nanosecond timings are wall clock and would
+            // leak non-determinism into the export.
+            out.push_str("{\"type\":\"span\",\"path\":");
+            push_json_str(&mut out, path);
+            let _ = writeln!(out, ",\"count\":{}}}", s.count);
+        }
+        for e in &self.events {
+            out.push_str("{\"type\":\"event\",\"tick\":");
+            let _ = write!(out, "{}", e.tick);
+            out.push_str(",\"name\":");
+            push_json_str(&mut out, &e.name);
+            out.push_str(",\"fields\":");
+            out.push_str(&e.fields_json());
+            out.push_str("}\n");
+        }
+        out
+    }
+
+    /// Renders a human-readable report: the span call tree with wall-clock
+    /// timings, then counters, gauges, histograms, and the tail of the
+    /// event journal. Timings here are diagnostic — only the
+    /// [`to_jsonl`](Self::to_jsonl) export carries the determinism
+    /// guarantee.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("spans (count, total, mean, min..max):\n");
+            for (path, s) in &self.spans {
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(path);
+                let _ = writeln!(
+                    out,
+                    "  {:indent$}{name:<24} {:>8}x  {:>10}  {:>9}  {}..{}",
+                    "",
+                    s.count,
+                    fmt_nanos(s.total_nanos),
+                    fmt_nanos(s.total_nanos / s.count.max(1)),
+                    fmt_nanos(s.min_nanos),
+                    fmt_nanos(s.max_nanos),
+                    indent = depth * 2,
+                );
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, v) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {v}");
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges (last / min / max / sets):\n");
+            for (name, g) in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {} / {} / {} / {}",
+                    g.value, g.min, g.max, g.sets
+                );
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms (count, mean, min..max):\n");
+            for (name, h) in &self.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} {}x mean {:.1} range {}..{}",
+                    h.count,
+                    h.mean(),
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max
+                );
+            }
+        }
+        if !self.events.is_empty() {
+            let tail = 20usize;
+            let skip = self.events.len().saturating_sub(tail);
+            let _ = writeln!(
+                out,
+                "events ({} total, {} dropped, last {}):",
+                self.events.len(),
+                self.dropped_events,
+                self.events.len() - skip
+            );
+            for e in &self.events[skip..] {
+                let _ = writeln!(out, "  [{:>8}] {} {}", e.tick, e.name, e.fields_json());
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(nothing recorded)\n");
+        }
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (quoted, escaped).
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Appends `v` as a JSON value; non-finite values become strings since
+/// JSON has no representation for them.
+fn push_json_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(out, "{v}");
+    } else if v.is_nan() {
+        out.push_str("\"NaN\"");
+    } else if v > 0.0 {
+        out.push_str("\"inf\"");
+    } else {
+        out.push_str("\"-inf\"");
+    }
+}
+
+fn fmt_nanos(n: u64) -> String {
+    if n >= 1_000_000_000 {
+        format!("{:.2}s", n as f64 / 1e9)
+    } else if n >= 1_000_000 {
+        format!("{:.2}ms", n as f64 / 1e6)
+    } else if n >= 1_000 {
+        format!("{:.2}us", n as f64 / 1e3)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_bit_length() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(31), 5);
+        assert_eq!(Histogram::bucket_of(32), 6);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_merge_is_lossless() {
+        let mut a = Histogram::one(3);
+        a.record(100);
+        let mut b = Histogram::one(7);
+        b.record(0);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        // Same as recording everything into one histogram.
+        let mut whole = Histogram::one(3);
+        for v in [100, 7, 0] {
+            whole.record(v);
+        }
+        assert_eq!(merged, whole);
+        // And commutative.
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ba, whole);
+    }
+
+    #[test]
+    fn gauge_last_write_resolved_by_stamp() {
+        let mut g = Gauge::one(1.0, 10);
+        g.set(5.0, 20);
+        g.set(3.0, 15); // stale stamp: extremes update, value does not
+        assert_eq!(g.value, 5.0);
+        assert_eq!(g.stamp, 20);
+        assert_eq!(g.min, 1.0);
+        assert_eq!(g.max, 5.0);
+        assert_eq!(g.sets, 3);
+    }
+
+    #[test]
+    fn gauge_merge_is_order_independent() {
+        let a = Gauge::one(1.0, 5);
+        let b = Gauge::one(9.0, 7);
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.value, 9.0);
+        assert_eq!(ab.min, 1.0);
+        assert_eq!(ab.sets, 2);
+    }
+
+    #[test]
+    fn span_stats_merge_tracks_extremes() {
+        let mut s = SpanStats::one(10);
+        s.merge(&SpanStats::one(30));
+        s.merge(&SpanStats::one(20));
+        assert_eq!(s.count, 3);
+        assert_eq!(s.total_nanos, 60);
+        assert_eq!(s.min_nanos, 10);
+        assert_eq!(s.max_nanos, 30);
+    }
+
+    #[test]
+    fn snapshot_merge_sorts_events_by_tick() {
+        let mut a = Snapshot::default();
+        a.events.push(EventRecord {
+            tick: 5,
+            name: "later".into(),
+            fields: vec![],
+        });
+        let mut b = Snapshot::default();
+        b.events.push(EventRecord {
+            tick: 2,
+            name: "earlier".into(),
+            fields: vec![],
+        });
+        let ab = a.clone().merged(b.clone());
+        let ba = b.merged(a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.events[0].name, "earlier");
+    }
+
+    #[test]
+    fn jsonl_escapes_and_orders() {
+        let mut s = Snapshot::default();
+        s.counter_add("b.counter", 2);
+        s.counter_add("a.counter", 1);
+        s.events.push(EventRecord {
+            tick: 3,
+            name: "quote\"newline\n".into(),
+            fields: vec![("k".into(), FieldValue::Str("v\t".into()))],
+        });
+        let jsonl = s.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert!(lines[0].starts_with("{\"type\":\"meta\""));
+        assert!(lines[1].contains("a.counter"), "sorted by name: {jsonl}");
+        assert!(lines[2].contains("b.counter"));
+        assert!(jsonl.contains("quote\\\"newline\\n"));
+        assert!(jsonl.contains("\"v\\t\""));
+        // Every line is a single JSON object.
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_excludes_span_timings() {
+        let mut s = Snapshot::default();
+        s.span_record("fit/epoch", 123_456);
+        let jsonl = s.to_jsonl();
+        assert!(jsonl.contains("\"path\":\"fit/epoch\""));
+        assert!(jsonl.contains("\"count\":1"));
+        assert!(!jsonl.contains("123456"), "wall-clock nanos leaked");
+    }
+
+    #[test]
+    fn non_finite_gauges_render_as_strings() {
+        let mut s = Snapshot::default();
+        s.gauge_set("g", f64::NAN, 0);
+        let jsonl = s.to_jsonl();
+        assert!(jsonl.contains("\"value\":\"NaN\""), "{jsonl}");
+    }
+
+    #[test]
+    fn summary_mentions_every_section() {
+        let mut s = Snapshot::default();
+        s.counter_add("c", 1);
+        s.gauge_set("g", 2.0, 0);
+        s.histogram_record("h", 9);
+        s.span_record("root/child", 1500);
+        s.events.push(EventRecord {
+            tick: 1,
+            name: "e".into(),
+            fields: vec![("id".into(), FieldValue::U64(4))],
+        });
+        let text = s.summary();
+        for needle in [
+            "spans",
+            "counters",
+            "gauges",
+            "histograms",
+            "events",
+            "1.50us",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+        assert_eq!(Snapshot::default().summary(), "(nothing recorded)\n");
+    }
+}

@@ -47,6 +47,8 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+use pelican_observe as observe;
+
 /// Hard cap on the worker count, matching the pre-existing matmul limit:
 /// beyond this, scoped-thread spawn overhead outweighs the win on the
 /// tensor sizes this workspace handles.
@@ -181,21 +183,40 @@ impl Pool {
     /// Tasks run on worker threads, which carry no thread-local
     /// [`ExecConfig`]: code inside `f` that should itself be serial (e.g.
     /// per-fold training under fold-level parallelism) must install its
-    /// own scope via [`with_exec`].
+    /// own scope via [`with_exec`]. The ambient `pelican-observe`
+    /// recorder, by contrast, **is** re-installed inside each worker, so
+    /// instrumentation emitted by tasks lands in the caller's recorder.
+    ///
+    /// Observability: each call bumps `pool.map_calls` / `pool.map_tasks`
+    /// and sets `pool.utilization` (mean over max per-worker load — 1.0
+    /// when tasks divide evenly; a pure function of `tasks` and the
+    /// worker count). The `pool.worker_tasks` histogram records how many
+    /// tasks each worker actually claimed — a load-balance diagnostic
+    /// that, unlike everything else here, depends on scheduling and is
+    /// *not* stable run to run.
     pub fn map<T, F>(&self, tasks: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
         let workers = self.workers.min(tasks);
+        observe::counter_add("pool.map_calls", 1);
+        observe::counter_add("pool.map_tasks", tasks as u64);
         if workers <= 1 {
             return (0..tasks).map(f).collect();
         }
+        observe::gauge(
+            "pool.utilization",
+            (tasks as f64 / workers as f64) / tasks.div_ceil(workers) as f64,
+        );
+        let recorder = observe::current_override();
         let next = AtomicUsize::new(0);
         let done = parking_lot::Mutex::new(Vec::with_capacity(tasks));
         crossbeam::thread::scope(|s| {
             for _ in 0..workers {
-                s.spawn(|_| {
+                let (recorder, next, done, f) = (&recorder, &next, &done, &f);
+                s.spawn(move |_| {
+                    let _obs = recorder.clone().map(observe::ScopedRecorder::install);
                     let mut local: Vec<(usize, T)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
@@ -204,6 +225,7 @@ impl Pool {
                         }
                         local.push((i, f(i)));
                     }
+                    observe::histogram("pool.worker_tasks", local.len() as u64);
                     done.lock().append(&mut local);
                 });
             }
@@ -226,16 +248,21 @@ impl Pool {
         F: Fn(usize, &mut [T]) + Sync,
     {
         let chunk_len = chunk_len.max(1);
+        observe::counter_add("pool.chunk_calls", 1);
         if self.workers <= 1 || data.len() <= chunk_len {
             for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(idx, chunk);
             }
             return;
         }
+        let recorder = observe::current_override();
         crossbeam::thread::scope(|s| {
             for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
-                let f = &f;
-                s.spawn(move |_| f(idx, chunk));
+                let (recorder, f) = (&recorder, &f);
+                s.spawn(move |_| {
+                    let _obs = recorder.clone().map(observe::ScopedRecorder::install);
+                    f(idx, chunk)
+                });
             }
         })
         .expect("pool chunk worker panicked");
@@ -409,6 +436,24 @@ mod tests {
         assert_ne!(s0, t0);
         // Pure function: same inputs, same seed.
         assert_eq!(s0, stream_seed(42, 0));
+    }
+
+    #[test]
+    fn pool_propagates_ambient_recorder_to_workers() {
+        use std::sync::Arc;
+        let rec = Arc::new(pelican_observe::InMemoryRecorder::new());
+        pelican_observe::with_recorder(rec.clone(), || {
+            Pool::new(4).map(16, |_| pelican_observe::counter_add("task", 1));
+            let mut data = vec![0u8; 12];
+            Pool::new(4).scope_chunks(&mut data, 3, |_, _| {
+                pelican_observe::counter_add("chunk", 1)
+            });
+        });
+        assert_eq!(rec.counter("task"), 16, "worker recordings lost");
+        assert_eq!(rec.counter("chunk"), 4);
+        assert_eq!(rec.counter("pool.map_calls"), 1);
+        assert_eq!(rec.counter("pool.map_tasks"), 16);
+        assert_eq!(rec.counter("pool.chunk_calls"), 1);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::detector::Detector;
 use crate::resilient::verdict_is_valid;
 use crate::traffic::Flow;
 use pelican_core::PipelineHealth;
+use pelican_observe as observe;
 use pelican_runtime::{BoundedQueue, Deadline, OverflowPolicy, PushOutcome, VirtualClock};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -144,6 +145,21 @@ impl CircuitBreaker {
     fn transition(&mut self, now: u64, state: BreakerState) {
         self.state = state;
         self.transitions.push((now, state));
+        observe::event(
+            "pipeline.breaker",
+            &[
+                ("at", now.into()),
+                (
+                    "state",
+                    match state {
+                        BreakerState::Closed => "closed",
+                        BreakerState::Open => "open",
+                        BreakerState::HalfOpen => "half_open",
+                    }
+                    .into(),
+                ),
+            ],
+        );
     }
 
     /// Whether a window starting at `now` may be sent to the primary.
@@ -387,6 +403,12 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
         &self.primary
     }
 
+    /// Publishes the ingest queue depth; the gauge's max is the run's
+    /// high-water mark. Called after every enqueue and dequeue.
+    fn note_queue_depth(&self) {
+        observe::gauge("pipeline.queue_depth", self.queue.len() as f64);
+    }
+
     /// Serves one queued window starting at `start` and returns its
     /// verdict. Advances `busy_until` past the work done.
     fn serve(&mut self, window: PendingWindow, start: u64) -> WindowVerdict {
@@ -444,6 +466,19 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
                 // Fallback tier serves the window (its cost is added on
                 // top of whatever the failed primary attempt burned).
                 self.health.degraded += 1;
+                let reason = if over_budget {
+                    "flow_budget"
+                } else if predicted_miss {
+                    "predicted_miss"
+                } else if !admitted {
+                    "breaker_open"
+                } else {
+                    "primary_fault"
+                };
+                observe::event(
+                    "pipeline.degrade",
+                    &[("id", window.id.into()), ("reason", reason.into())],
+                );
                 cost = cost.saturating_add(cfg.cost.fallback_cost(n));
                 self.fallback.classify(&flows)
             }
@@ -454,6 +489,13 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
         let deadline_missed = window.deadline.missed(completed_at);
         if deadline_missed || (predicted_miss && served_by == ServedBy::Fallback) {
             self.health.deadline_misses += 1;
+            observe::event(
+                "pipeline.deadline_miss",
+                &[
+                    ("id", window.id.into()),
+                    ("completed_at", completed_at.into()),
+                ],
+            );
         }
         self.health.processed += 1;
         WindowVerdict {
@@ -474,6 +516,7 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
                 break;
             }
             let window = self.queue.pop().expect("front exists");
+            self.note_queue_depth();
             let verdict = self.serve(window, start);
             out.push(verdict);
         }
@@ -485,6 +528,10 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
     /// (possibly none, possibly several).
     pub fn ingest(&mut self, flows: Vec<Flow>) -> Vec<WindowVerdict> {
         let now = self.clock.advance(self.config.cost.arrival_ticks);
+        // Events and gauges from here on are stamped with the virtual
+        // tick, so a recorded run exports identically at every thread
+        // count.
+        observe::set_tick(now);
         let mut out = Vec::new();
         self.service_ready(now, &mut out);
 
@@ -502,6 +549,7 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
                 match self.queue.push(window, OverflowPolicy::Block) {
                     PushOutcome::Enqueued => {
                         self.health.enqueued += 1;
+                        self.note_queue_depth();
                         break;
                     }
                     PushOutcome::WouldBlock(w) => {
@@ -510,10 +558,12 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
                         // oldest window, then retries. The clock advances
                         // to that start tick — later arrivals slip.
                         self.health.backpressure_stalls += 1;
+                        observe::event("pipeline.backpressure", &[("id", w.id.into())]);
                         let front_arrival =
                             self.queue.front().map(|f| f.arrival).expect("queue full");
                         let start = self.busy_until.max(front_arrival);
                         let now = self.clock.advance_to(start);
+                        observe::set_tick(now);
                         self.service_ready(now, &mut out);
                         window = w;
                     }
@@ -521,10 +571,15 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
                 }
             },
             ShedPolicy::ShedOldest => match self.queue.push(window, OverflowPolicy::ShedOldest) {
-                PushOutcome::Enqueued => self.health.enqueued += 1,
+                PushOutcome::Enqueued => {
+                    self.health.enqueued += 1;
+                    self.note_queue_depth();
+                }
                 PushOutcome::ShedOldest(dropped) => {
                     self.health.enqueued += 1;
                     self.health.shed += 1;
+                    self.note_queue_depth();
+                    observe::event("pipeline.shed", &[("id", dropped.id.into())]);
                     out.push(WindowVerdict {
                         id: dropped.id,
                         preds: Vec::new(),
@@ -537,18 +592,29 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
             },
             ShedPolicy::DegradeToFallback => {
                 match self.queue.push(window, OverflowPolicy::Reject) {
-                    PushOutcome::Enqueued => self.health.enqueued += 1,
+                    PushOutcome::Enqueued => {
+                        self.health.enqueued += 1;
+                        self.note_queue_depth();
+                    }
                     PushOutcome::Rejected(w) => {
                         // The fallback tier has its own capacity: overflow is
                         // served immediately at `now` without occupying the
                         // primary server.
                         self.health.degraded += 1;
                         self.health.processed += 1;
+                        observe::event(
+                            "pipeline.degrade",
+                            &[("id", w.id.into()), ("reason", "overflow".into())],
+                        );
                         let cost = self.config.cost.fallback_cost(w.flows.len());
                         let completed_at = now.saturating_add(cost);
                         let deadline_missed = w.deadline.missed(completed_at);
                         if deadline_missed {
                             self.health.deadline_misses += 1;
+                            observe::event(
+                                "pipeline.deadline_miss",
+                                &[("id", w.id.into()), ("completed_at", completed_at.into())],
+                            );
                         }
                         out.push(WindowVerdict {
                             id: w.id,
@@ -572,8 +638,10 @@ impl<P: Detector, F: Detector> StreamingPipeline<P, F> {
         let mut out = Vec::new();
         while let Some(front) = self.queue.front() {
             let start = self.busy_until.max(front.arrival);
-            self.clock.advance_to(start);
+            let now = self.clock.advance_to(start);
+            observe::set_tick(now);
             let window = self.queue.pop().expect("front exists");
+            self.note_queue_depth();
             let verdict = self.serve(window, start);
             out.push(verdict);
         }

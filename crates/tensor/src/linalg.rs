@@ -91,6 +91,8 @@ fn matmul_at_rows(
 /// Shared driver: multiply `a` (m×k, row-major) by `bt` (n×k, row-major,
 /// i.e. B transposed) into an m×n tensor, parallelising when large.
 fn gemm(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize) -> Tensor {
+    pelican_observe::counter_add("tensor.matmul_calls", 1);
+    pelican_observe::counter_add("tensor.matmul_flops", 2 * (m * k * n) as u64);
     let mut out = vec![0.0f32; m * n];
     match plan(m * k * n, m) {
         None => gemm_rows(a, bt, &mut out, k, n, 0),
@@ -154,6 +156,8 @@ impl Tensor {
         // both operands, no transposed copies.
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let n = rhs.shape()[1];
+        pelican_observe::counter_add("tensor.matmul_calls", 1);
+        pelican_observe::counter_add("tensor.matmul_flops", 2 * (m * k * n) as u64);
         let mut out = vec![0.0f32; m * n];
         let a = self.as_slice();
         let b = rhs.as_slice();
@@ -180,6 +184,8 @@ impl Tensor {
             return Err(ShapeError::new("matvec", self.shape(), v.shape()));
         }
         let (m, k) = (self.shape()[0], self.shape()[1]);
+        pelican_observe::counter_add("tensor.matvec_calls", 1);
+        pelican_observe::counter_add("tensor.matvec_flops", 2 * (m * k) as u64);
         let a = self.as_slice();
         let vs = v.as_slice();
         let mut out = vec![0.0f32; m];
@@ -353,6 +359,23 @@ mod tests {
             );
             assert_eq!(par.3.as_slice(), serial.3.as_slice(), "matvec @ {workers}");
         }
+    }
+
+    #[test]
+    fn flop_counters_count_multiply_accumulates() {
+        use std::sync::Arc;
+        let rec = Arc::new(pelican_observe::InMemoryRecorder::new());
+        pelican_observe::with_recorder(rec.clone(), || {
+            let a = Tensor::zeros(vec![2, 3]);
+            a.matmul(&Tensor::zeros(vec![3, 4])).unwrap();
+            a.matmul_bt(&Tensor::zeros(vec![4, 3])).unwrap();
+            a.matvec(&Tensor::zeros(vec![3])).unwrap();
+        });
+        // Two GEMMs of 2×3×4 MACs each, one matvec of 2×3 MACs; a FLOP
+        // counter counts multiply *and* add.
+        assert_eq!(rec.counter("tensor.matmul_flops"), 2 * 2 * (2 * 3 * 4));
+        assert_eq!(rec.counter("tensor.matmul_calls"), 2);
+        assert_eq!(rec.counter("tensor.matvec_flops"), 2 * (2 * 3));
     }
 
     #[test]

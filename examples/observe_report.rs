@@ -1,0 +1,68 @@
+//! Observability quick-start: train a small Pelican under a live
+//! [`InMemoryRecorder`](pelican::observe::InMemoryRecorder) and print
+//! both export formats — the human-readable call-tree summary and the
+//! deterministic JSONL.
+//!
+//! ```text
+//! cargo run --release --example observe_report
+//! ```
+
+use pelican::observe::InMemoryRecorder;
+use pelican::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    let cfg = ExpConfig {
+        dataset: DatasetKind::NslKdd,
+        samples: 600,
+        epochs: 2,
+        batch_size: 64,
+        learning_rate: 0.01,
+        kernel: 10,
+        dropout: 0.5,
+        test_fraction: 0.2,
+        seed: 11,
+    };
+
+    // Install a recorder for the duration of the run. Everything in
+    // scope — trainer epochs, per-layer forward/backward spans, kernel
+    // FLOP counters, training gauges — lands in this one recorder,
+    // including work done on pool worker threads.
+    let rec = Arc::new(InMemoryRecorder::new());
+    let result = pelican::observe::with_recorder(rec.clone(), || {
+        run_network(Arch::Residual { blocks: 1 }, &cfg)
+    });
+
+    println!("=== run ===");
+    println!(
+        "{}: acc {:.4}, DR {:.4}, FAR {:.4}",
+        result.arch_name,
+        result.multiclass_acc,
+        result.confusion.detection_rate(),
+        result.confusion.false_alarm_rate()
+    );
+    println!(
+        "epoch wall times: {:?} (total {:.2}s)",
+        result
+            .history
+            .epoch_secs
+            .iter()
+            .map(|s| format!("{s:.2}s"))
+            .collect::<Vec<_>>(),
+        result.history.total_train_secs()
+    );
+
+    println!("\n=== summary ===");
+    print!("{}", rec.summary());
+
+    // The JSONL export is deterministic: counters, histograms, span
+    // counts and tick-stamped events only — no wall clock anywhere.
+    let jsonl = rec.export_jsonl();
+    println!(
+        "=== jsonl (first 12 of {} lines) ===",
+        jsonl.lines().count()
+    );
+    for line in jsonl.lines().take(12) {
+        println!("{line}");
+    }
+}

@@ -6,10 +6,12 @@
 # The suite runs twice — PELICAN_THREADS=1 (pure serial paths) and
 # PELICAN_THREADS=4 (pooled kernels, concurrent folds, parallel window
 # scoring) — because the engine's contract is that both produce identical
-# results, and the pipeline chaos test re-runs explicitly at both counts
-# (it asserts bit-identical SimReports). Formatting and rustdoc are gated
+# results, and the pipeline chaos and observability tests re-run
+# explicitly at both counts (they assert bit-identical SimReports and
+# bit-identical JSONL exports). Formatting and rustdoc are gated
 # alongside clippy. Set PELICAN_BENCH=1 to also run the parallel-scaling
-# bench (writes BENCH_parallel.json at the repo root).
+# and observability-overhead benches (write BENCH_parallel.json and
+# BENCH_observe.json at the repo root).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +24,18 @@ PELICAN_THREADS=4 cargo test -q
 echo "== pipeline chaos @ PELICAN_THREADS=1 and 4 =="
 PELICAN_THREADS=1 cargo test -q --test pipeline_resilience
 PELICAN_THREADS=4 cargo test -q --test pipeline_resilience
-cargo clippy --all-targets -- -D warnings
+echo "== observability equivalence @ PELICAN_THREADS=1 and 4 =="
+PELICAN_THREADS=1 cargo test -q --test observability
+PELICAN_THREADS=4 cargo test -q --test observability
+cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 if [[ "${PELICAN_BENCH:-0}" == "1" ]]; then
     cargo bench -p pelican-bench --bench bench_parallel_scaling
+    cargo bench -p pelican-bench --bench bench_observe
 fi
+echo "== BENCH_observe.json well-formed =="
+test -s BENCH_observe.json
+grep -q '"bench": "bench_observe"' BENCH_observe.json
+grep -q '"overhead_inmemory_pct"' BENCH_observe.json
+grep -q '"within_budget": true' BENCH_observe.json
 echo "all checks passed"

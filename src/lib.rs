@@ -13,6 +13,7 @@
 //! | [`ml`] | `pelican-ml` | SVM, random forest, AdaBoost, decision trees |
 //! | [`core`] | `pelican-core` | residual blocks, model zoo, metrics, experiments |
 //! | [`simulator`] | `pelican-simulator` | Fig.-1 deployment: traffic, alerts, triage workload |
+//! | [`observe`] | `pelican-observe` | deterministic tracing, metrics, profiling |
 //!
 //! # Quick start
 //!
@@ -44,6 +45,7 @@ pub use pelican_core as core;
 pub use pelican_data as data;
 pub use pelican_ml as ml;
 pub use pelican_nn as nn;
+pub use pelican_observe as observe;
 pub use pelican_runtime as runtime;
 pub use pelican_simulator as simulator;
 pub use pelican_tensor as tensor;
@@ -59,6 +61,7 @@ pub mod prelude {
     pub use pelican_data::{KFold, OneHotEncoder, RawDataset, Standardizer};
     pub use pelican_ml::Classifier;
     pub use pelican_nn::{Layer, Mode, Sequential, Trainer, TrainerConfig};
+    pub use pelican_observe::{InMemoryRecorder, NoopRecorder, Recorder, ScopedRecorder};
     pub use pelican_runtime::{tree_reduce, with_workers, ExecConfig, Pool};
     pub use pelican_tensor::{SeededRng, Tensor};
 }

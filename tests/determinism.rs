@@ -260,6 +260,78 @@ fn kill_and_resume_is_bit_exact_across_thread_count_change() {
     std::fs::remove_dir_all(&dir_b).ok();
 }
 
+mod recorder_merge {
+    //! Satellite property: the observability subsystem's merge is
+    //! order-independent — folding N per-thread recorders together in
+    //! any order produces the same deterministic export as recording
+    //! every operation into a single recorder.
+
+    use pelican::observe::{InMemoryRecorder, Recorder, Snapshot};
+    use proptest::prelude::*;
+
+    const NAMES: [&str; 3] = ["alpha", "beta", "gamma"];
+
+    /// Applies one primitive recording op. `tick` is the op's global
+    /// sequence number, so gauge last-write and event order are defined
+    /// by the operation stream, not by which recorder saw the op.
+    fn apply(rec: &InMemoryRecorder, kind: u8, which: usize, value: u64, tick: u64) {
+        rec.set_tick(tick);
+        let name = NAMES[which % NAMES.len()];
+        match kind % 5 {
+            0 => rec.counter_add(name, value),
+            1 => rec.gauge_set(name, value as f64),
+            2 => rec.histogram_record(name, value),
+            3 => rec.span_record(name, value),
+            _ => rec.event(name, &[("v", value.into())]),
+        }
+    }
+
+    fn fold(snaps: impl Iterator<Item = Snapshot>) -> String {
+        snaps
+            .reduce(Snapshot::merged)
+            .map(|s| s.to_jsonl())
+            .unwrap_or_default()
+    }
+
+    proptest! {
+        #[test]
+        fn merging_recorders_is_order_independent(
+            ops in prop::collection::vec((0u8..5, 0usize..3, 1u64..1000), 1..40),
+            parts in 1usize..5,
+        ) {
+            // Single recorder sees the whole operation stream in order.
+            let single = InMemoryRecorder::new();
+            for (i, &(kind, which, value)) in ops.iter().enumerate() {
+                apply(&single, kind, which, value, i as u64);
+            }
+            let baseline = single.snapshot().unwrap().to_jsonl();
+
+            // The same stream split round-robin across N recorders, as
+            // the worker pool splits work across threads.
+            let recs: Vec<InMemoryRecorder> =
+                (0..parts).map(|_| InMemoryRecorder::new()).collect();
+            for (i, &(kind, which, value)) in ops.iter().enumerate() {
+                apply(&recs[i % parts], kind, which, value, i as u64);
+            }
+            let snaps: Vec<Snapshot> =
+                recs.iter().map(|r| r.snapshot().unwrap()).collect();
+
+            let forward = fold(snaps.clone().into_iter());
+            let reverse = fold(snaps.clone().into_iter().rev());
+            // An uneven rotation, to catch non-associativity that a
+            // simple reversal would miss.
+            let rot = ops.len() % parts;
+            let rotated = fold(
+                snaps.iter().cycle().skip(rot).take(parts).cloned(),
+            );
+
+            prop_assert_eq!(&forward, &baseline, "forward merge != single recorder");
+            prop_assert_eq!(&reverse, &baseline, "merge order changed the export");
+            prop_assert_eq!(&rotated, &baseline, "rotated merge changed the export");
+        }
+    }
+}
+
 #[test]
 fn classical_models_are_deterministic_given_seeds() {
     use pelican::ml::{AdaBoost, AdaBoostConfig, Classifier, Svm, SvmConfig};
