@@ -1,0 +1,201 @@
+//! Compute-core kernel benchmark: packed/blocked GEMM, im2col Conv1d and
+//! the fused GRU step against the retained seed kernels they replaced.
+//!
+//! The seed GEMM walks one `dot` per output element: on an out-of-order
+//! core that is a single 4-lane accumulation chain, latency-bound on the
+//! FP add. The blocked kernel keeps a 2×4 register tile live (32
+//! independent accumulation lanes) over a packed, cache-resident B panel,
+//! so the same arithmetic retires several times faster on one thread —
+//! the speedup asserted here is single-thread ILP, not parallelism, and
+//! results stay bit-identical (checked in-bench and, exhaustively, by
+//! `tests/kernel_equivalence.rs`).
+//!
+//! Results go to `BENCH_kernels.json` at the workspace root. The run
+//! fails if the L2-resident GEMM speedup drops below 2× — the floor the
+//! blocking exists to clear.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pelican_nn::{Conv1d, Gru, Layer, Mode};
+use pelican_runtime::with_workers;
+use pelican_tensor::{pack, SeededRng, Tensor};
+use std::time::Instant;
+
+fn random_vec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = SeededRng::new(seed);
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+fn random_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    let data = random_vec(shape.iter().product(), seed);
+    Tensor::from_vec(shape, data).expect("shape")
+}
+
+/// Best-of-`reps` wall time of `iters` calls to `f`, in seconds per call.
+fn time_it(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm caches, workspace arena and any lazy state
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(start.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct GemmResult {
+    shape: (usize, usize, usize),
+    seed_ns: f64,
+    packed_ns: f64,
+    speedup: f64,
+}
+
+/// Seed kernel vs packed kernel on one serial-thread GEMM shape.
+fn gemm_case(m: usize, k: usize, n: usize, iters: usize) -> GemmResult {
+    let a = random_vec(m * k, 21);
+    let bt = random_vec(n * k, 22);
+    let mut out_ref = vec![0.0f32; m * n];
+    let mut out_new = vec![0.0f32; m * n];
+    let seed_s = time_it(5, iters, || {
+        pack::gemm_bt_reference(&a, &bt, &mut out_ref, k, n, k);
+    });
+    let packed_s = time_it(5, iters, || {
+        with_workers(1, || pack::gemm_bt(&a, &bt, m, k, n, k, &mut out_new));
+    });
+    let same = out_ref
+        .iter()
+        .zip(&out_new)
+        .all(|(x, y)| x.to_bits() == y.to_bits());
+    assert!(same, "packed GEMM drifted from seed at {m}x{k}x{n}");
+    GemmResult {
+        shape: (m, k, n),
+        seed_ns: seed_s * 1e9,
+        packed_ns: packed_s * 1e9,
+        speedup: seed_s / packed_s,
+    }
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // L2-resident shapes: the training matmuls of the paper's networks
+    // (121 = NSL-KDD width) plus square shapes whose packed B panel and
+    // A rows sit comfortably in L2.
+    let gemm_shapes = [
+        (64usize, 121usize, 121usize, 400usize),
+        (128, 128, 128, 300),
+        (64, 256, 256, 150),
+    ];
+    let mut gemms = Vec::new();
+    for &(m, k, n, iters) in &gemm_shapes {
+        let r = gemm_case(m, k, n, iters);
+        eprintln!(
+            "[kernels] gemm {}x{}x{}: seed {:.0} ns, packed {:.0} ns → {:.2}×",
+            m, k, n, r.seed_ns, r.packed_ns, r.speedup
+        );
+        gemms.push(r);
+    }
+    let min_speedup = gemms
+        .iter()
+        .map(|g| g.speedup)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_speedup >= 2.0,
+        "L2-resident GEMM speedup fell below the 2x floor: {min_speedup:.2}x"
+    );
+
+    // Conv1d: im2col (one packed GEMM over the live-tap patch matrix) vs
+    // the per-tap path, forward and backward. Both ride the packed GEMM,
+    // so this isolates the im2col restructuring: at the paper's seq-1
+    // shape it must at least break even (tap trimming keeps the GEMM at
+    // one live tap); at a real sequence length it collapses ten
+    // gather/matmul/scatter rounds into one product.
+    let mut conv_deltas = Vec::new();
+    for (t, iters) in [(1usize, 60usize), (16, 15)] {
+        let (b, cin, cout, kernel) = (64usize, 121usize, 121usize, 10usize);
+        let x = random_tensor(vec![b, t, cin], 23);
+        let mut conv = Conv1d::new(cin, cout, kernel, &mut SeededRng::new(24));
+        let g = {
+            let y = conv.forward(&x, Mode::Train);
+            random_tensor(y.shape().to_vec(), 25)
+        };
+        let fwd_ref = time_it(5, iters, || {
+            std::hint::black_box(conv.forward_reference(&x));
+        });
+        let fwd_new = time_it(5, iters, || {
+            std::hint::black_box(conv.forward(&x, Mode::Train));
+        });
+        let bwd_ref = time_it(5, iters, || {
+            std::hint::black_box(conv.backward_reference(&x, &g));
+        });
+        let bwd_new = time_it(5, iters, || {
+            std::hint::black_box(conv.backward(&g));
+        });
+        eprintln!(
+            "[kernels] conv1d t={t}: fwd {:.2}×, bwd {:.2}×",
+            fwd_ref / fwd_new,
+            bwd_ref / bwd_new
+        );
+        conv_deltas.push((t, fwd_ref / fwd_new, bwd_ref / bwd_new));
+    }
+
+    // GRU: fused step (batched gate GEMMs + fused elementwise passes) vs
+    // the per-gate seed path, full forward+backward step, over a short
+    // sequence so the recurrence actually iterates.
+    let (gb, gt, gc, gu) = (64usize, 4usize, 121usize, 121usize);
+    let gx = random_tensor(vec![gb, gt, gc], 26);
+    let gg = random_tensor(vec![gb, gt, gu], 27);
+    let mut gru = Gru::new(gc, gu, &mut SeededRng::new(28));
+    let gru_ref = time_it(5, 20, || {
+        std::hint::black_box(gru.reference_fwd_bwd(&gx, &gg));
+    });
+    let gru_new = time_it(5, 20, || {
+        gru.zero_grad();
+        std::hint::black_box(gru.forward(&gx, Mode::Train));
+        std::hint::black_box(gru.backward(&gg));
+    });
+    eprintln!("[kernels] gru fwd+bwd {:.2}×", gru_ref / gru_new);
+
+    let gemm_json: Vec<String> = gemms
+        .iter()
+        .map(|g| {
+            format!(
+                "    {{\"m\": {}, \"k\": {}, \"n\": {}, \"seed_ns\": {:.0}, \"packed_ns\": {:.0}, \"speedup\": {:.3}}}",
+                g.shape.0, g.shape.1, g.shape.2, g.seed_ns, g.packed_ns, g.speedup
+            )
+        })
+        .collect();
+    let conv_json: Vec<String> = conv_deltas
+        .iter()
+        .map(|(t, fwd, bwd)| {
+            format!(
+                "    {{\"seq_len\": {t}, \"forward_speedup\": {fwd:.3}, \"backward_speedup\": {bwd:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"bench_kernels\",\n  \"gemm\": [\n{}\n  ],\n  \"gemm_min_speedup\": {:.3},\n  \"gemm_speedup_floor\": 2.0,\n  \"conv1d_im2col_vs_per_tap\": [\n{}\n  ],\n  \"gru_step_speedup\": {:.3},\n  \"bit_identical_to_seed\": true,\n  \"note\": \"gemm compares the blocked 2x4 register tile against the retained seed one-dot-per-element kernel (single-thread ILP); conv/gru compare the im2col/fused restructuring against the per-tap/per-gate paths, both riding the packed GEMM; equivalence guaranteed by tests/kernel_equivalence.rs\"\n}}\n",
+        gemm_json.join(",\n"),
+        min_speedup,
+        conv_json.join(",\n"),
+        gru_ref / gru_new,
+    );
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_kernels.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => eprintln!("[kernels] wrote {}", path.display()),
+        Err(e) => eprintln!("[kernels] could not write {}: {e}", path.display()),
+    }
+
+    c.bench_function("kernels_1shot", |bench| {
+        // The measurements above are the real content; this registers the
+        // bench with criterion's output.
+        bench.iter(|| 0usize)
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -54,6 +54,42 @@ fn bench_layers(c: &mut Criterion) {
     });
 }
 
+/// The restructured kernels at sequence lengths where the recurrence and
+/// the tap loop actually iterate: the fused GRU step and the im2col conv
+/// against their retained per-gate / per-tap references.
+fn bench_seq_kernels(c: &mut Criterion) {
+    let seq = 8usize;
+    let x = random_tensor(vec![B, seq, F], 9);
+    let mut rng = SeededRng::new(10);
+
+    let mut conv = Conv1d::new(F, F, 10, &mut rng);
+    c.bench_function("conv1d_im2col_forward_seq8", |bench| {
+        bench.iter(|| conv.forward(&x, Mode::Train))
+    });
+    c.bench_function("conv1d_per_tap_forward_seq8", |bench| {
+        bench.iter(|| conv.forward_reference(&x))
+    });
+    let cdy = conv.forward(&x, Mode::Train);
+    c.bench_function("conv1d_im2col_backward_seq8", |bench| {
+        bench.iter(|| conv.backward(&cdy))
+    });
+    c.bench_function("conv1d_per_tap_backward_seq8", |bench| {
+        bench.iter(|| conv.backward_reference(&x, &cdy))
+    });
+
+    let mut gru = Gru::new(F, F, &mut rng);
+    c.bench_function("gru_fused_forward_seq8", |bench| {
+        bench.iter(|| gru.forward(&x, Mode::Train))
+    });
+    let gdy = gru.forward(&x, Mode::Train);
+    c.bench_function("gru_fused_backward_seq8", |bench| {
+        bench.iter(|| gru.backward(&gdy))
+    });
+    c.bench_function("gru_reference_step_seq8", |bench| {
+        bench.iter(|| gru.reference_fwd_bwd(&x, &gdy))
+    });
+}
+
 /// One full forward+backward+update step of a single block with classifier
 /// head — plain vs residual. The ablation: the shortcut's extra cost is one
 /// elementwise add each way, so the two should be nearly identical; the
@@ -105,6 +141,6 @@ fn bench_block_step(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_matmul, bench_layers, bench_block_step
+    targets = bench_matmul, bench_layers, bench_seq_kernels, bench_block_step
 }
 criterion_main!(benches);

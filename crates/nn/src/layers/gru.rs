@@ -2,7 +2,7 @@
 
 use super::btc;
 use crate::{ActivationKind, Layer, Mode, Param};
-use pelican_tensor::{Init, SeededRng, Tensor};
+use pelican_tensor::{pack, workspace, Init, SeededRng, Tensor};
 
 /// Gated recurrent unit over `[batch, time, channels]`, returning the full
 /// hidden-state sequence (`return_sequences=True`).
@@ -20,6 +20,21 @@ use pelican_tensor::{Init, SeededRng, Tensor};
 /// h̃_t = tanh(x_t·W_h + (r_t ⊙ h_{t-1})·U_h + b_h)   (candidate)
 /// h_t = z_t ⊙ h_{t-1} + (1 − z_t) ⊙ h̃_t
 /// ```
+///
+/// # Fused step
+///
+/// The forward batches all three input products into one
+/// `[b·t, 3·units]` GEMM over the whole sequence, the z/r recurrent
+/// products into one `[b, 2·units]` GEMM per step, and evaluates the gate
+/// nonlinearities in two fused passes over the step's elements. The
+/// backward batches the per-gate `matmul_at` parameter-gradient products
+/// the same way and produces `dx` with one segmented GEMM per step.
+/// Everything stays bit-identical to the retained per-gate reference
+/// ([`Gru::forward_reference`] / [`Gru::reference_fwd_bwd`]): batched
+/// *columns* don't change any element's dot product, and the one place
+/// operands concatenate along the reduction (`dx`) uses the segmented
+/// kernel (`seg = units`), which reproduces the old
+/// product-assign-then-add chain exactly (see [`pelican_tensor::pack`]).
 ///
 /// ```
 /// use pelican_nn::{Gru, Layer, Mode};
@@ -48,6 +63,7 @@ pub struct Gru {
     units: usize,
     cache: Option<Vec<StepCache>>,
     input_shape: Option<Vec<usize>>,
+    scratch: GruScratch,
 }
 
 #[derive(Debug)]
@@ -59,6 +75,29 @@ struct StepCache {
     hh: Tensor,
     z_pre: Tensor,
     r_pre: Tensor,
+}
+
+/// Grow-only packed-weight buffers, retained across calls. Weight *values*
+/// are refilled from the live parameters on every call (the optimizer
+/// moves them between calls) — only capacity is cached.
+#[derive(Debug, Default)]
+struct GruScratch {
+    /// `[Wzᵀ; Wrᵀ; Whᵀ]` stacked: `[3·units, in]` panel layout.
+    w_all_t: Vec<f32>,
+    /// `[Uzᵀ; Urᵀ]` stacked: `[2·units, units]` panel layout.
+    u_zr_t: Vec<f32>,
+    /// `Uhᵀ`: `[units, units]` panel layout.
+    uh_t: Vec<f32>,
+    /// `[Wz | Wr | Wh]` column-concatenated: `[in, 3·units]` — the panel
+    /// layout of the backward `dx` product's transposed weight.
+    w_cat: Vec<f32>,
+}
+
+fn fit(buf: &mut Vec<f32>, len: usize) {
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, 0.0);
+    }
 }
 
 impl Gru {
@@ -89,6 +128,7 @@ impl Gru {
             units,
             cache: None,
             input_shape: None,
+            scratch: GruScratch::default(),
         }
     }
 
@@ -97,7 +137,7 @@ impl Gru {
         self.units
     }
 
-    /// Computes `x·W + h·U + b` for one gate.
+    /// Computes `x·W + h·U + b` for one gate (reference path).
     fn gate_pre(x: &Tensor, h: &Tensor, w: &Tensor, u: &Tensor, b: &Tensor) -> Tensor {
         let mut pre = x.matmul(w).expect("gru gate x·W");
         let hu = h.matmul(u).expect("gru gate h·U");
@@ -105,22 +145,113 @@ impl Gru {
         pre.add_row_bias(b).expect("gate bias");
         pre
     }
-}
 
-/// Applies an activation elementwise.
-fn act(x: &Tensor, k: ActivationKind) -> Tensor {
-    x.map(|v| k.apply(v))
-}
+    /// The retained seed forward: three separate gate products per step,
+    /// tensor-op elementwise math. Kept verbatim as the reference the
+    /// fused step is proptested bit-identical against, and as the baseline
+    /// `bench_kernels` times.
+    pub fn forward_reference(&self, input: &Tensor) -> Tensor {
+        self.reference_forward_with_cache(input).0
+    }
 
-/// Elementwise derivative-of-activation at the cached pre-activation,
-/// multiplied by the incoming gradient.
-fn act_grad(pre: &Tensor, g: &Tensor, k: ActivationKind) -> Tensor {
-    pre.zip_map(g, |x, gv| gv * k.derivative(x))
-        .expect("act grad")
-}
+    /// Reference forward + backward: returns `(y, dx, grads)` with `grads`
+    /// in [`Layer::params_mut`] order, computed without touching the layer's
+    /// state or parameter gradients.
+    pub fn reference_fwd_bwd(
+        &self,
+        input: &Tensor,
+        grad_out: &Tensor,
+    ) -> (Tensor, Tensor, Vec<Tensor>) {
+        let (y, cache) = self.reference_forward_with_cache(input);
+        let (b, t, c) = btc(input.shape());
+        let u = self.units;
+        let dy = grad_out.reshape(vec![b * t, u]).expect("gru grad flatten");
 
-impl Layer for Gru {
-    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let mut grads: Vec<Tensor> = vec![
+            Tensor::zeros(vec![c, u]),
+            Tensor::zeros(vec![c, u]),
+            Tensor::zeros(vec![c, u]),
+            Tensor::zeros(vec![u, u]),
+            Tensor::zeros(vec![u, u]),
+            Tensor::zeros(vec![u, u]),
+            Tensor::zeros(vec![u]),
+            Tensor::zeros(vec![u]),
+            Tensor::zeros(vec![u]),
+        ];
+        let mut dx = Tensor::zeros(vec![b * t, c]);
+        let mut dh_carry = Tensor::zeros(vec![b, u]);
+        for ti in (0..t).rev() {
+            let step = &cache[ti];
+            let rows: Vec<usize> = (0..b).map(|bi| bi * t + ti).collect();
+            let mut dh = dy.gather_rows(&rows);
+            dh.add_assign(&dh_carry).expect("dh carry");
+
+            let dz = dh
+                .zip_map(&step.h_prev, |g, hp| g * hp)
+                .expect("dz a")
+                .zip_map(
+                    &dh.zip_map(&step.hh, |g, hv| g * hv).expect("dz b"),
+                    |a, b| a - b,
+                )
+                .expect("dz");
+            let dhh = dh.zip_map(&step.z, |g, zv| g * (1.0 - zv)).expect("dhh");
+            let mut dh_prev = dh.zip_map(&step.z, |g, zv| g * zv).expect("dh_prev direct");
+
+            let dhh_pre = step
+                .hh
+                .zip_map(&dhh, |hv, g| g * (1.0 - hv * hv))
+                .expect("dhh_pre");
+            let da = dhh_pre.matmul_bt(&self.whh.value).expect("da");
+            let dr = da.zip_map(&step.h_prev, |g, hp| g * hp).expect("dr");
+            dh_prev
+                .add_assign(&da.zip_map(&step.r, |g, rv| g * rv).expect("dh via a"))
+                .expect("dh_prev accum");
+
+            let dz_pre = act_grad(&step.z_pre, &dz, ActivationKind::HardSigmoid);
+            let dr_pre = act_grad(&step.r_pre, &dr, ActivationKind::HardSigmoid);
+
+            dh_prev
+                .add_assign(&dz_pre.matmul_bt(&self.whz.value).expect("dh via Uz"))
+                .expect("dh_prev z");
+            dh_prev
+                .add_assign(&dr_pre.matmul_bt(&self.whr.value).expect("dh via Ur"))
+                .expect("dh_prev r");
+
+            let mut dxt = dz_pre.matmul_bt(&self.wxz.value).expect("dx z");
+            dxt.add_assign(&dr_pre.matmul_bt(&self.wxr.value).expect("dx r"))
+                .expect("dx r add");
+            dxt.add_assign(&dhh_pre.matmul_bt(&self.wxh.value).expect("dx h"))
+                .expect("dx h add");
+            for (bi, &row) in rows.iter().enumerate() {
+                let src = &dxt.as_slice()[bi * c..(bi + 1) * c];
+                let dst = &mut dx.as_mut_slice()[row * c..(row + 1) * c];
+                dst.copy_from_slice(src);
+            }
+
+            let rh = step
+                .r
+                .zip_map(&step.h_prev, |a, b| a * b)
+                .expect("r⊙h recompute");
+            let mut acc = |idx: usize, g: Tensor| {
+                grads[idx].add_assign(&g).expect("param grad shape");
+            };
+            acc(0, step.x.matmul_at(&dz_pre).expect("dWz"));
+            acc(1, step.x.matmul_at(&dr_pre).expect("dWr"));
+            acc(2, step.x.matmul_at(&dhh_pre).expect("dWh"));
+            acc(3, step.h_prev.matmul_at(&dz_pre).expect("dUz"));
+            acc(4, step.h_prev.matmul_at(&dr_pre).expect("dUr"));
+            acc(5, rh.matmul_at(&dhh_pre).expect("dUh"));
+            acc(6, dz_pre.sum_axis0().expect("dbz"));
+            acc(7, dr_pre.sum_axis0().expect("dbr"));
+            acc(8, dhh_pre.sum_axis0().expect("dbh"));
+
+            dh_carry = dh_prev;
+        }
+        let dx = dx.reshape(input.shape().to_vec()).expect("gru dx shape");
+        (y, dx, grads)
+    }
+
+    fn reference_forward_with_cache(&self, input: &Tensor) -> (Tensor, Vec<StepCache>) {
         let (b, t, c) = btc(input.shape());
         assert_eq!(c, self.in_channels, "gru channel mismatch");
         let flat = input.reshape(vec![b * t, c]).expect("gru flatten");
@@ -154,7 +285,6 @@ impl Layer for Gru {
                 )
                 .expect("h update");
 
-            // Write h_new into output rows.
             for bi in 0..b {
                 let src = &h_new.as_slice()[bi * u..(bi + 1) * u];
                 let dst = &mut out.as_mut_slice()[(bi * t + ti) * u..(bi * t + ti + 1) * u];
@@ -172,92 +302,324 @@ impl Layer for Gru {
             });
             h = h_new;
         }
+        (out, cache)
+    }
+
+    /// Refills the packed forward weight panels from the live parameters.
+    fn pack_forward_weights(&mut self) {
+        let (c, u) = (self.in_channels, self.units);
+        fit(&mut self.scratch.w_all_t, 3 * u * c);
+        pack::pack_transpose(
+            self.wxz.value.as_slice(),
+            c,
+            u,
+            &mut self.scratch.w_all_t[..u * c],
+        );
+        pack::pack_transpose(
+            self.wxr.value.as_slice(),
+            c,
+            u,
+            &mut self.scratch.w_all_t[u * c..2 * u * c],
+        );
+        pack::pack_transpose(
+            self.wxh.value.as_slice(),
+            c,
+            u,
+            &mut self.scratch.w_all_t[2 * u * c..],
+        );
+        fit(&mut self.scratch.u_zr_t, 2 * u * u);
+        pack::pack_transpose(
+            self.whz.value.as_slice(),
+            u,
+            u,
+            &mut self.scratch.u_zr_t[..u * u],
+        );
+        pack::pack_transpose(
+            self.whr.value.as_slice(),
+            u,
+            u,
+            &mut self.scratch.u_zr_t[u * u..],
+        );
+        fit(&mut self.scratch.uh_t, u * u);
+        pack::pack_transpose(self.whh.value.as_slice(), u, u, &mut self.scratch.uh_t);
+    }
+}
+
+/// Applies an activation elementwise.
+fn act(x: &Tensor, k: ActivationKind) -> Tensor {
+    x.map(|v| k.apply(v))
+}
+
+/// Elementwise derivative-of-activation at the cached pre-activation,
+/// multiplied by the incoming gradient.
+fn act_grad(pre: &Tensor, g: &Tensor, k: ActivationKind) -> Tensor {
+    pre.zip_map(g, |x, gv| gv * k.derivative(x))
+        .expect("act grad")
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+        let (b, t, c) = btc(input.shape());
+        assert_eq!(c, self.in_channels, "gru channel mismatch");
+        let flat = input.reshape(vec![b * t, c]).expect("gru flatten");
+        let u = self.units;
+        self.pack_forward_weights();
+        let bz = self.bz.value.as_slice();
+        let br = self.br.value.as_slice();
+        let bh = self.bh.value.as_slice();
+
+        // All three input-kernel products for the whole sequence in one
+        // GEMM: xw[(bi·t + ti)·3u ..] = [x·Wz | x·Wr | x·Wh] for that row.
+        let mut xw = workspace::take(b * t * 3 * u);
+        pack::gemm_bt(
+            flat.as_slice(),
+            &self.scratch.w_all_t,
+            b * t,
+            c,
+            3 * u,
+            c,
+            &mut xw,
+        );
+
+        let mut hu2 = workspace::take(b * 2 * u);
+        let mut ruh = workspace::take(b * u);
+        let mut rh = workspace::take(b * u);
+        let mut h = Tensor::zeros(vec![b, u]);
+        let mut cache = Vec::with_capacity(t);
+        let mut out = Tensor::zeros(vec![b, t, u]);
+        for ti in 0..t {
+            let rows: Vec<usize> = (0..b).map(|bi| bi * t + ti).collect();
+            let x = flat.gather_rows(&rows);
+
+            // z/r recurrent products batched: hu2[bi·2u ..] = [h·Uz | h·Ur].
+            pack::gemm_bt(h.as_slice(), &self.scratch.u_zr_t, b, u, 2 * u, u, &mut hu2);
+
+            // Fused pass 1: gate pre-activations, hard sigmoids, r ⊙ h.
+            // Expressions mirror the reference exactly: (x·W + h·U) + b.
+            let hs = h.as_slice();
+            let mut z_pre = vec![0.0f32; b * u];
+            let mut r_pre = vec![0.0f32; b * u];
+            let mut z = vec![0.0f32; b * u];
+            let mut r = vec![0.0f32; b * u];
+            for bi in 0..b {
+                let xrow = (bi * t + ti) * 3 * u;
+                let hrow = bi * 2 * u;
+                for j in 0..u {
+                    let i = bi * u + j;
+                    let zp = (xw[xrow + j] + hu2[hrow + j]) + bz[j];
+                    let rp = (xw[xrow + u + j] + hu2[hrow + u + j]) + br[j];
+                    z_pre[i] = zp;
+                    r_pre[i] = rp;
+                    let zv = ActivationKind::HardSigmoid.apply(zp);
+                    let rv = ActivationKind::HardSigmoid.apply(rp);
+                    z[i] = zv;
+                    r[i] = rv;
+                    rh[i] = rv * hs[i];
+                }
+            }
+
+            pack::gemm_bt(&rh, &self.scratch.uh_t, b, u, u, u, &mut ruh);
+
+            // Fused pass 2: candidate tanh and hidden-state update,
+            // h = (z ⊙ h_prev) + ((1 − z) ⊙ h̃).
+            let mut hh = vec![0.0f32; b * u];
+            let mut h_new = vec![0.0f32; b * u];
+            let outs = out.as_mut_slice();
+            for bi in 0..b {
+                let xrow = (bi * t + ti) * 3 * u + 2 * u;
+                for j in 0..u {
+                    let i = bi * u + j;
+                    let hp = (xw[xrow + j] + ruh[i]) + bh[j];
+                    let hhv = ActivationKind::Tanh.apply(hp);
+                    let zv = z[i];
+                    let hn = (zv * hs[i]) + ((1.0 - zv) * hhv);
+                    hh[i] = hhv;
+                    h_new[i] = hn;
+                    outs[(bi * t + ti) * u + j] = hn;
+                }
+            }
+
+            let shaped = |v: Vec<f32>| Tensor::from_vec(vec![b, u], v).expect("gru step tensor");
+            let h_new = shaped(h_new);
+            cache.push(StepCache {
+                x,
+                h_prev: h,
+                z: shaped(z),
+                r: shaped(r),
+                hh: shaped(hh),
+                z_pre: shaped(z_pre),
+                r_pre: shaped(r_pre),
+            });
+            h = h_new;
+        }
         self.cache = Some(cache);
         self.input_shape = Some(input.shape().to_vec());
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let cache = self.cache.as_ref().expect("gru backward before forward");
         let shape = self.input_shape.clone().expect("gru input shape");
         let (b, t, c) = btc(&shape);
         let u = self.units;
         let dy = grad_out.reshape(vec![b * t, u]).expect("gru grad flatten");
+        let dys = dy.as_slice();
+
+        // [Wz | Wr | Wh] column-concatenated: the dx product's weight in
+        // panel layout. Refilled per call from the live weights.
+        let (wz, wr, wh) = (
+            self.wxz.value.as_slice(),
+            self.wxr.value.as_slice(),
+            self.wxh.value.as_slice(),
+        );
+        fit(&mut self.scratch.w_cat, c * 3 * u);
+        for i in 0..c {
+            let row = &mut self.scratch.w_cat[i * 3 * u..(i + 1) * 3 * u];
+            row[..u].copy_from_slice(&wz[i * u..(i + 1) * u]);
+            row[u..2 * u].copy_from_slice(&wr[i * u..(i + 1) * u]);
+            row[2 * u..].copy_from_slice(&wh[i * u..(i + 1) * u]);
+        }
+
+        let cache = self.cache.as_ref().expect("gru backward before forward");
+        let mut dzp = workspace::take(b * u);
+        let mut drp = workspace::take(b * u);
+        let mut dhhp = workspace::take(b * u);
+        let mut dh_prev = workspace::take(b * u);
+        let mut da = workspace::take(b * u);
+        let mut tmp = workspace::take(b * u);
+        let mut rh = workspace::take(b * u);
+        let mut carry = workspace::take(b * u);
+        let mut g3 = workspace::take(b * 3 * u);
+        let mut g2 = workspace::take(b * 2 * u);
+        let mut dxt = workspace::take(b * c);
+        let mut dw_all = workspace::take(c * 3 * u);
+        let mut du2 = workspace::take(u * 2 * u);
+        let mut duh = workspace::take(u * u);
+        let mut bsum = workspace::take(u);
 
         let mut dx = Tensor::zeros(vec![b * t, c]);
-        let mut dh_carry = Tensor::zeros(vec![b, u]);
         for ti in (0..t).rev() {
             let step = &cache[ti];
-            // dh = output grad at this step + carry from step t+1.
-            let rows: Vec<usize> = (0..b).map(|bi| bi * t + ti).collect();
-            let mut dh = dy.gather_rows(&rows);
-            dh.add_assign(&dh_carry).expect("dh carry");
+            let hp = step.h_prev.as_slice();
+            let hhs = step.hh.as_slice();
+            let zs = step.z.as_slice();
+            let rs = step.r.as_slice();
+            let zps = step.z_pre.as_slice();
+            let rps = step.r_pre.as_slice();
 
-            // h = z⊙h_prev + (1-z)⊙hh
-            let dz = dh
-                .zip_map(&step.h_prev, |g, hp| g * hp)
-                .expect("dz a")
-                .zip_map(
-                    &dh.zip_map(&step.hh, |g, hv| g * hv).expect("dz b"),
-                    |a, b| a - b,
-                )
-                .expect("dz");
-            let dhh = dh.zip_map(&step.z, |g, zv| g * (1.0 - zv)).expect("dhh");
-            let mut dh_prev = dh.zip_map(&step.z, |g, zv| g * zv).expect("dh_prev direct");
-
-            // Candidate: hh = tanh(hh_pre); d(hh_pre) = dhh ⊙ (1 - hh²).
-            let dhh_pre = step
-                .hh
-                .zip_map(&dhh, |hv, g| g * (1.0 - hv * hv))
-                .expect("dhh_pre");
-            // a = r ⊙ h_prev feeds hh_pre through U_h.
-            let da = dhh_pre.matmul_bt(&self.whh.value).expect("da");
-            let dr = da.zip_map(&step.h_prev, |g, hp| g * hp).expect("dr");
-            dh_prev
-                .add_assign(&da.zip_map(&step.r, |g, rv| g * rv).expect("dh via a"))
-                .expect("dh_prev accum");
-
-            let dz_pre = act_grad(&step.z_pre, &dz, ActivationKind::HardSigmoid);
-            let dr_pre = act_grad(&step.r_pre, &dr, ActivationKind::HardSigmoid);
-
-            dh_prev
-                .add_assign(&dz_pre.matmul_bt(&self.whz.value).expect("dh via Uz"))
-                .expect("dh_prev z");
-            dh_prev
-                .add_assign(&dr_pre.matmul_bt(&self.whr.value).expect("dh via Ur"))
-                .expect("dh_prev r");
-
-            // Input gradient.
-            let mut dxt = dz_pre.matmul_bt(&self.wxz.value).expect("dx z");
-            dxt.add_assign(&dr_pre.matmul_bt(&self.wxr.value).expect("dx r"))
-                .expect("dx r add");
-            dxt.add_assign(&dhh_pre.matmul_bt(&self.wxh.value).expect("dx h"))
-                .expect("dx h add");
-            for (bi, &row) in rows.iter().enumerate() {
-                let src = &dxt.as_slice()[bi * c..(bi + 1) * c];
-                let dst = &mut dx.as_mut_slice()[row * c..(row + 1) * c];
-                dst.copy_from_slice(src);
+            // Fused pass 1 — per element, mirroring the reference trees:
+            //   g       = dy + carry
+            //   dz      = (g·h_prev) − (g·h̃)
+            //   dh_prev = g·z                       (direct path)
+            //   dh̃_pre  = (g·(1−z)) · (1 − h̃²)
+            //   dz_pre  = dz · hardσ'(z_pre)
+            for bi in 0..b {
+                for j in 0..u {
+                    let i = bi * u + j;
+                    let g = dys[(bi * t + ti) * u + j] + carry[i];
+                    let dz = (g * hp[i]) - (g * hhs[i]);
+                    let dhh = g * (1.0 - zs[i]);
+                    dh_prev[i] = g * zs[i];
+                    dhhp[i] = dhh * (1.0 - hhs[i] * hhs[i]);
+                    dzp[i] = dz * ActivationKind::HardSigmoid.derivative(zps[i]);
+                }
             }
 
-            // Parameter gradients.
-            let rh = step
-                .r
-                .zip_map(&step.h_prev, |a, b| a * b)
-                .expect("r⊙h recompute");
-            let acc = |p: &mut Param, g: Tensor| {
-                p.grad.add_assign(&g).expect("param grad shape");
-            };
-            acc(&mut self.wxz, step.x.matmul_at(&dz_pre).expect("dWz"));
-            acc(&mut self.wxr, step.x.matmul_at(&dr_pre).expect("dWr"));
-            acc(&mut self.wxh, step.x.matmul_at(&dhh_pre).expect("dWh"));
-            acc(&mut self.whz, step.h_prev.matmul_at(&dz_pre).expect("dUz"));
-            acc(&mut self.whr, step.h_prev.matmul_at(&dr_pre).expect("dUr"));
-            acc(&mut self.whh, rh.matmul_at(&dhh_pre).expect("dUh"));
-            acc(&mut self.bz, dz_pre.sum_axis0().expect("dbz"));
-            acc(&mut self.br, dr_pre.sum_axis0().expect("dbr"));
-            acc(&mut self.bh, dhh_pre.sum_axis0().expect("dbh"));
+            // a = r ⊙ h_prev feeds h̃_pre through U_h.
+            pack::gemm_bt(&dhhp, self.whh.value.as_slice(), b, u, u, u, &mut da);
 
-            dh_carry = dh_prev;
+            // Fused pass 2: dr = da·h_prev, reset-path carry, dr_pre.
+            for i in 0..b * u {
+                let dr = da[i] * hp[i];
+                dh_prev[i] += da[i] * rs[i];
+                drp[i] = dr * ActivationKind::HardSigmoid.derivative(rps[i]);
+            }
+
+            // Recurrent carries through Uz then Ur, added in reference
+            // order (full product first, then the elementwise add).
+            pack::gemm_bt(&dzp, self.whz.value.as_slice(), b, u, u, u, &mut tmp);
+            for i in 0..b * u {
+                dh_prev[i] += tmp[i];
+            }
+            pack::gemm_bt(&drp, self.whr.value.as_slice(), b, u, u, u, &mut tmp);
+            for i in 0..b * u {
+                dh_prev[i] += tmp[i];
+            }
+
+            // Gate gradients interleaved [dz_pre | dr_pre | dh̃_pre]: one
+            // segmented GEMM gives dx_t = dz·Wzᵀ + dr·Wrᵀ + dh̃·Whᵀ with the
+            // reference's assign-add-add accumulation order (seg = units).
+            for bi in 0..b {
+                let row = &mut g3[bi * 3 * u..(bi + 1) * 3 * u];
+                row[..u].copy_from_slice(&dzp[bi * u..(bi + 1) * u]);
+                row[u..2 * u].copy_from_slice(&drp[bi * u..(bi + 1) * u]);
+                row[2 * u..].copy_from_slice(&dhhp[bi * u..(bi + 1) * u]);
+            }
+            pack::gemm_bt(&g3, &self.scratch.w_cat, b, 3 * u, c, u, &mut dxt);
+            for bi in 0..b {
+                let row = bi * t + ti;
+                dx.as_mut_slice()[row * c..(row + 1) * c]
+                    .copy_from_slice(&dxt[bi * c..(bi + 1) * c]);
+            }
+
+            // Parameter gradients, batched per operand. `matmul_at_into`
+            // accumulates, so the scratch outputs are re-zeroed per step.
+            dw_all.fill(0.0);
+            pack::matmul_at_into(step.x.as_slice(), &g3, b, c, 3 * u, &mut dw_all);
+            let (gwz, gwr, gwh) = (
+                self.wxz.grad.as_mut_slice(),
+                self.wxr.grad.as_mut_slice(),
+                self.wxh.grad.as_mut_slice(),
+            );
+            for i in 0..c {
+                let row = &dw_all[i * 3 * u..(i + 1) * 3 * u];
+                for j in 0..u {
+                    gwz[i * u + j] += row[j];
+                    gwr[i * u + j] += row[u + j];
+                    gwh[i * u + j] += row[2 * u + j];
+                }
+            }
+            for bi in 0..b {
+                let row = &mut g2[bi * 2 * u..(bi + 1) * 2 * u];
+                row[..u].copy_from_slice(&dzp[bi * u..(bi + 1) * u]);
+                row[u..].copy_from_slice(&drp[bi * u..(bi + 1) * u]);
+            }
+            du2.fill(0.0);
+            pack::matmul_at_into(hp, &g2, b, u, 2 * u, &mut du2);
+            let (guz, gur) = (self.whz.grad.as_mut_slice(), self.whr.grad.as_mut_slice());
+            for i in 0..u {
+                let row = &du2[i * 2 * u..(i + 1) * 2 * u];
+                for j in 0..u {
+                    guz[i * u + j] += row[j];
+                    gur[i * u + j] += row[u + j];
+                }
+            }
+            for i in 0..b * u {
+                rh[i] = rs[i] * hp[i];
+            }
+            duh.fill(0.0);
+            pack::matmul_at_into(&rh, &dhhp, b, u, u, &mut duh);
+            for (d, &s) in self.whh.grad.as_mut_slice().iter_mut().zip(duh.iter()) {
+                *d += s;
+            }
+
+            // Bias gradients: ascending-row column sums, like sum_axis0.
+            for (param, buf) in [
+                (&mut self.bz, &dzp),
+                (&mut self.br, &drp),
+                (&mut self.bh, &dhhp),
+            ] {
+                bsum.fill(0.0);
+                for bi in 0..b {
+                    for j in 0..u {
+                        bsum[j] += buf[bi * u + j];
+                    }
+                }
+                for (d, &s) in param.grad.as_mut_slice().iter_mut().zip(bsum.iter()) {
+                    *d += s;
+                }
+            }
+
+            carry.copy_from_slice(&dh_prev);
         }
         dx.reshape(shape).expect("gru dx shape")
     }
@@ -374,5 +736,23 @@ mod tests {
         assert_eq!(gru.params_mut().len(), 9);
         assert_eq!(gru.param_layer_count(), 1);
         assert_eq!(gru.units(), 4);
+    }
+
+    /// The fused step must agree with the retained reference to the bit,
+    /// forward and backward, including parameter gradients.
+    #[test]
+    fn fused_step_bit_matches_reference() {
+        let mut rng = SeededRng::new(6);
+        let mut gru = Gru::new(3, 5, &mut rng);
+        let x = Init::GlorotUniform.tensor(vec![2, 4, 3], (3, 5), &mut rng);
+        let g = Init::GlorotUniform.tensor(vec![2, 4, 5], (3, 5), &mut rng);
+        let (ref_y, ref_dx, ref_grads) = gru.reference_fwd_bwd(&x, &g);
+        let y = gru.forward(&x, Mode::Train);
+        let dx = gru.backward(&g);
+        assert_eq!(y.as_slice(), ref_y.as_slice(), "forward drifted");
+        assert_eq!(dx.as_slice(), ref_dx.as_slice(), "dx drifted");
+        for (p, want) in gru.params_mut().into_iter().zip(&ref_grads) {
+            assert_eq!(p.grad.as_slice(), want.as_slice(), "param grad drifted");
+        }
     }
 }

@@ -39,6 +39,7 @@
 
 mod clock;
 mod queue;
+mod shared;
 
 pub use clock::{Deadline, VirtualClock};
 pub use queue::{BoundedQueue, OverflowPolicy, PushOutcome};
@@ -143,15 +144,23 @@ pub fn with_workers<R>(workers: usize, f: impl FnOnce() -> R) -> R {
     )
 }
 
-/// A scoped worker pool.
+/// A handle onto the process-wide worker pool.
 ///
-/// The pool owns no threads: each [`map`](Pool::map) /
-/// [`scope_chunks`](Pool::scope_chunks) call spawns scoped workers that
-/// are joined before the call returns, so borrowed data flows in and out
-/// without `'static` bounds, and an idle pool costs nothing. Tasks are
+/// The handle itself owns nothing but a worker count; the threads behind
+/// it are [`MAX_WORKERS`] persistent workers, lazily spawned once per
+/// process and fed through an injector queue (see the `shared` module).
+/// Each [`map`](Pool::map) / [`scope_chunks`](Pool::scope_chunks) call
+/// submits jobs and blocks on a completion latch, so borrowed data still
+/// flows in and out without `'static` bounds — but without the per-call
+/// thread-spawn cost the previous scoped implementation paid. Tasks are
 /// claimed dynamically (atomic counter) for load balancing; determinism is
 /// preserved because every task writes only its own output slot and
 /// results are reassembled in task order.
+///
+/// Calls made *from* a pool worker run inline on that worker: nested
+/// parallel sections produce identical bits either way, and routing them
+/// into the queue could deadlock once every worker blocks on jobs that no
+/// free worker remains to claim.
 #[derive(Debug, Clone, Copy)]
 pub struct Pool {
     workers: usize,
@@ -163,6 +172,14 @@ impl Pool {
         Self {
             workers: workers.clamp(1, MAX_WORKERS),
         }
+    }
+
+    /// Like [`Pool::new`], but also warms the process-wide worker set, so
+    /// hot paths (the tensor kernels' `plan()`) never pay first-use spawn
+    /// cost inside a product.
+    pub fn cached(workers: usize) -> Self {
+        shared::warm();
+        Self::new(workers)
     }
 
     /// A pool sized by the current thread's execution configuration.
@@ -202,7 +219,7 @@ impl Pool {
         let workers = self.workers.min(tasks);
         observe::counter_add("pool.map_calls", 1);
         observe::counter_add("pool.map_tasks", tasks as u64);
-        if workers <= 1 {
+        if workers <= 1 || shared::on_pool_worker() {
             return (0..tasks).map(f).collect();
         }
         observe::gauge(
@@ -212,25 +229,20 @@ impl Pool {
         let recorder = observe::current_override();
         let next = AtomicUsize::new(0);
         let done = parking_lot::Mutex::new(Vec::with_capacity(tasks));
-        crossbeam::thread::scope(|s| {
-            for _ in 0..workers {
-                let (recorder, next, done, f) = (&recorder, &next, &done, &f);
-                s.spawn(move |_| {
-                    let _obs = recorder.clone().map(observe::ScopedRecorder::install);
-                    let mut local: Vec<(usize, T)> = Vec::new();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks {
-                            break;
-                        }
-                        local.push((i, f(i)));
-                    }
-                    observe::histogram("pool.worker_tasks", local.len() as u64);
-                    done.lock().append(&mut local);
-                });
+        let work = |_job: usize| {
+            let _obs = recorder.clone().map(observe::ScopedRecorder::install);
+            let mut local: Vec<(usize, T)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= tasks {
+                    break;
+                }
+                local.push((i, f(i)));
             }
-        })
-        .expect("pool worker panicked");
+            observe::histogram("pool.worker_tasks", local.len() as u64);
+            done.lock().append(&mut local);
+        };
+        shared::run_jobs(workers, &work, "pool worker panicked");
         let mut pairs = done.into_inner();
         pairs.sort_unstable_by_key(|(i, _)| *i);
         debug_assert_eq!(pairs.len(), tasks);
@@ -249,23 +261,37 @@ impl Pool {
     {
         let chunk_len = chunk_len.max(1);
         observe::counter_add("pool.chunk_calls", 1);
-        if self.workers <= 1 || data.len() <= chunk_len {
+        if self.workers <= 1 || data.len() <= chunk_len || shared::on_pool_worker() {
             for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
                 f(idx, chunk);
             }
             return;
         }
         let recorder = observe::current_override();
-        crossbeam::thread::scope(|s| {
-            for (idx, chunk) in data.chunks_mut(chunk_len).enumerate() {
-                let (recorder, f) = (&recorder, &f);
-                s.spawn(move |_| {
-                    let _obs = recorder.clone().map(observe::ScopedRecorder::install);
-                    f(idx, chunk)
-                });
+        // Hand each chunk to exactly one claimer; chunk layout depends only
+        // on the data length and chunk size, never on the worker count.
+        let chunks: Vec<parking_lot::Mutex<Option<&mut [T]>>> = data
+            .chunks_mut(chunk_len)
+            .map(|c| parking_lot::Mutex::new(Some(c)))
+            .collect();
+        let nchunks = chunks.len();
+        let next = AtomicUsize::new(0);
+        let work = |_job: usize| {
+            let _obs = recorder.clone().map(observe::ScopedRecorder::install);
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= nchunks {
+                    break;
+                }
+                let chunk = chunks[i].lock().take().expect("chunk claimed twice");
+                f(i, chunk);
             }
-        })
-        .expect("pool chunk worker panicked");
+        };
+        shared::run_jobs(
+            self.workers.min(nchunks),
+            &work,
+            "pool chunk worker panicked",
+        );
     }
 }
 

@@ -1,0 +1,211 @@
+//! Process-wide persistent worker pool.
+//!
+//! The original [`crate::Pool`] spawned scoped OS threads on every
+//! `map`/`scope_chunks` call; with the packed GEMM core pushing thousands
+//! of pooled products per training epoch, per-call thread spawns became
+//! the dominant parallel-path overhead. This module keeps
+//! [`crate::MAX_WORKERS`] long-lived workers blocked on a condvar and
+//! feeds them boxed jobs through a mutex-protected injector queue.
+//!
+//! Borrowed data still flows through without `'static` bounds: a caller
+//! submits jobs whose lifetimes are erased, then blocks on a completion
+//! latch that every job signals (also on unwind, via `catch_unwind`), so
+//! the borrows provably outlive the jobs. The calling thread only waits —
+//! it never claims tasks — preserving the documented contract that tasks
+//! run on worker threads carrying no thread-local [`crate::ExecConfig`].
+//!
+//! Nested parallelism runs inline: a job that itself reaches a parallel
+//! kernel would otherwise block a worker slot waiting on jobs that can
+//! never be claimed once all slots do the same. Workers mark themselves
+//! with a thread-local flag and [`on_pool_worker`] routes nested calls to
+//! the serial path — same results (the bit-identity contract makes the
+//! two paths equal), no deadlock.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+use crate::MAX_WORKERS;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+#[derive(Default)]
+struct Injector {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+}
+
+/// Tracks how many of a submission's jobs are still running, plus whether
+/// any of them panicked. The submitting thread blocks on it; the last job
+/// to finish wakes it.
+struct Latch {
+    state: Mutex<(usize, bool)>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(jobs: usize) -> Self {
+        Self {
+            state: Mutex::new((jobs, false)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn signal(&self, panicked: bool) {
+        let mut state = self.state.lock().expect("latch poisoned");
+        state.0 -= 1;
+        state.1 |= panicked;
+        if state.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until every job has signalled; returns whether any panicked.
+    fn wait(&self) -> bool {
+        let mut state = self.state.lock().expect("latch poisoned");
+        while state.0 > 0 {
+            state = self.done.wait(state).expect("latch poisoned");
+        }
+        state.1
+    }
+}
+
+static INJECTOR: OnceLock<Injector> = OnceLock::new();
+static SPAWN: OnceLock<()> = OnceLock::new();
+
+thread_local! {
+    static IS_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is one of the persistent pool workers.
+/// Parallel entry points consult this to run nested sections inline.
+pub(crate) fn on_pool_worker() -> bool {
+    IS_POOL_WORKER.with(|f| f.get())
+}
+
+fn worker_loop(injector: &'static Injector) {
+    IS_POOL_WORKER.with(|f| f.set(true));
+    loop {
+        let job = {
+            let mut queue = injector.queue.lock().expect("injector poisoned");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break job;
+                }
+                queue = injector.available.wait(queue).expect("injector poisoned");
+            }
+        };
+        // Jobs wrap user work in `catch_unwind`, so this cannot unwind
+        // (and thus cannot poison the injector above).
+        job();
+    }
+}
+
+/// The injector, with the worker threads lazily spawned on first use.
+fn injector() -> &'static Injector {
+    let inj = INJECTOR.get_or_init(Injector::default);
+    SPAWN.get_or_init(|| {
+        for i in 0..MAX_WORKERS {
+            std::thread::Builder::new()
+                .name(format!("pelican-pool-{i}"))
+                .spawn(move || worker_loop(injector_ref()))
+                .expect("spawn pool worker");
+        }
+    });
+    inj
+}
+
+fn injector_ref() -> &'static Injector {
+    INJECTOR.get().expect("injector initialised before spawn")
+}
+
+/// Ensures the worker threads exist, so the first parallel kernel after
+/// warm-up pays no spawn cost.
+pub(crate) fn warm() {
+    injector();
+}
+
+/// Runs `work(0), …, work(jobs-1)` on the persistent workers and blocks
+/// until all complete. Panics with `panic_msg` if any job panicked —
+/// matching the scoped-pool error surface this replaces.
+///
+/// The borrows inside `work` are erased to `'static` before queueing; this
+/// is sound because this function does not return until the latch records
+/// `jobs` completions (every job signals exactly once, panic or not), so
+/// no job can outlive the caller's frame.
+pub(crate) fn run_jobs(jobs: usize, work: &(dyn Fn(usize) + Sync), panic_msg: &'static str) {
+    if jobs == 0 {
+        return;
+    }
+    let injector = injector();
+    let latch = Latch::new(jobs);
+    // SAFETY: see above — the latch keeps this frame alive past every job.
+    let work: &'static (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(work) };
+    let latch_ref: &'static Latch = unsafe { &*(&latch as *const Latch) };
+    {
+        let mut queue = injector.queue.lock().expect("injector poisoned");
+        for i in 0..jobs {
+            queue.push_back(Box::new(move || {
+                let panicked = catch_unwind(AssertUnwindSafe(|| work(i))).is_err();
+                latch_ref.signal(panicked);
+            }));
+        }
+        injector.available.notify_all();
+    }
+    if latch.wait() {
+        panic!("{panic_msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn jobs_run_on_marked_worker_threads() {
+        let on_worker = AtomicUsize::new(0);
+        let work = |_: usize| {
+            if on_pool_worker() {
+                on_worker.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        run_jobs(4, &work, "test pool panicked");
+        assert_eq!(on_worker.load(Ordering::Relaxed), 4);
+        assert!(!on_pool_worker(), "caller must not claim jobs");
+    }
+
+    #[test]
+    fn borrowed_state_survives_until_all_jobs_finish() {
+        let hits = [
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+            AtomicUsize::new(0),
+        ];
+        let work = |i: usize| {
+            hits[i].fetch_add(i + 1, Ordering::Relaxed);
+        };
+        run_jobs(3, &work, "test pool panicked");
+        let got: Vec<usize> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        assert_eq!(got, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn panicking_job_propagates_message_and_pool_survives() {
+        let boom = |_: usize| panic!("inner failure");
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_jobs(2, &boom, "test pool panicked");
+        }))
+        .expect_err("panic must propagate");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("test pool panicked"), "{msg}");
+        // The workers must still be alive and serving.
+        let count = AtomicUsize::new(0);
+        let work = |_: usize| {
+            count.fetch_add(1, Ordering::Relaxed);
+        };
+        run_jobs(5, &work, "test pool panicked");
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+}

@@ -24,8 +24,10 @@ mod error;
 mod init;
 mod linalg;
 mod ops;
+pub mod pack;
 mod reduce;
 mod tensor;
+pub mod workspace;
 
 pub use error::ShapeError;
 pub use init::{Init, SeededRng};

@@ -1,109 +1,18 @@
 //! Matrix products, including the transposed variants backpropagation needs.
 //!
-//! All three kernels (`A·B`, `Aᵀ·B`, `A·Bᵀ`) reduce to a dot-product inner
-//! loop over contiguous slices, which the compiler auto-vectorises. Products
-//! above [`crate::PARALLEL_FLOP_THRESHOLD`] multiply-accumulates are split
-//! across the [`pelican_runtime`] worker pool by partitioning the *output*:
+//! All products funnel into the packed, cache-blocked kernels in
+//! [`crate::pack`]: `matmul` packs its right-hand side into the transposed
+//! panel layout (workspace memory, no per-call allocation), `matmul_bt`
+//! consumes its operand in place (it already *is* the panel layout), and
+//! `matmul_at` keeps the ascending-row zero-skip kernel. Products above
+//! [`crate::PARALLEL_FLOP_THRESHOLD`] multiply-accumulates are split across
+//! the cached [`pelican_runtime`] worker pool by partitioning the *output*:
 //! each output element is produced by exactly one worker running the same
-//! scalar loop as the serial kernel, so the result is bit-identical to the
-//! serial path at every worker count.
+//! blocked serial kernel, so the result is bit-identical to the serial path
+//! at every worker count.
 
-use crate::{ShapeError, Tensor, PARALLEL_FLOP_THRESHOLD};
-use pelican_runtime::{current_exec, Pool};
-
-/// Whether a kernel of `flops` multiply-accumulates over `rows` partitionable
-/// output rows should engage the pool, and with how many workers.
-fn plan(flops: usize, rows: usize) -> Option<(Pool, usize)> {
-    let exec = current_exec();
-    if exec.workers < 2 || rows < 2 {
-        return None;
-    }
-    if flops < PARALLEL_FLOP_THRESHOLD && !exec.force_parallel {
-        return None;
-    }
-    let workers = exec.workers.min(rows);
-    Some((Pool::new(workers), rows.div_ceil(workers)))
-}
-
-/// Dot product of two equal-length slices.
-#[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
-    debug_assert_eq!(a.len(), b.len());
-    // Manual 4-lane unroll: reliable auto-vectorisation across rustc versions.
-    let chunks = a.len() / 4;
-    let mut acc = [0.0f32; 4];
-    for i in 0..chunks {
-        let j = i * 4;
-        acc[0] += a[j] * b[j];
-        acc[1] += a[j + 1] * b[j + 1];
-        acc[2] += a[j + 2] * b[j + 2];
-        acc[3] += a[j + 3] * b[j + 3];
-    }
-    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
-    for j in chunks * 4..a.len() {
-        s += a[j] * b[j];
-    }
-    s
-}
-
-/// Computes rows `rows` of `out = A (m×k) · Bᵀ_rowmajor (n×k)` where `bt` is
-/// B already laid out transposed (each row of `bt` is a column of B).
-fn gemm_rows(a: &[f32], bt: &[f32], out: &mut [f32], k: usize, n: usize, row0: usize) {
-    let rows = out.len() / n;
-    for r in 0..rows {
-        let ar = &a[(row0 + r) * k..(row0 + r + 1) * k];
-        let or = &mut out[r * n..(r + 1) * n];
-        for (j, o) in or.iter_mut().enumerate() {
-            *o = dot(ar, &bt[j * k..(j + 1) * k]);
-        }
-    }
-}
-
-/// Computes output rows `row0..row0+rows` of `out = Aᵀ·B` where `a` is `k×m`
-/// and `b` is `k×n`, both row-major. The reduction over `t` runs ascending and
-/// keeps the zero-skip, so each output element sees the exact per-element
-/// accumulation order of the serial kernel.
-fn matmul_at_rows(
-    a: &[f32],
-    b: &[f32],
-    out: &mut [f32],
-    k: usize,
-    m: usize,
-    n: usize,
-    row0: usize,
-) {
-    let rows = out.len() / n;
-    for t in 0..k {
-        let ar = &a[t * m..(t + 1) * m];
-        let br = &b[t * n..(t + 1) * n];
-        for i in 0..rows {
-            let av = ar[row0 + i];
-            if av != 0.0 {
-                let or = &mut out[i * n..(i + 1) * n];
-                for (o, &bv) in or.iter_mut().zip(br) {
-                    *o += av * bv;
-                }
-            }
-        }
-    }
-}
-
-/// Shared driver: multiply `a` (m×k, row-major) by `bt` (n×k, row-major,
-/// i.e. B transposed) into an m×n tensor, parallelising when large.
-fn gemm(a: &[f32], bt: &[f32], m: usize, k: usize, n: usize) -> Tensor {
-    pelican_observe::counter_add("tensor.matmul_calls", 1);
-    pelican_observe::counter_add("tensor.matmul_flops", 2 * (m * k * n) as u64);
-    let mut out = vec![0.0f32; m * n];
-    match plan(m * k * n, m) {
-        None => gemm_rows(a, bt, &mut out, k, n, 0),
-        Some((pool, chunk_rows)) => {
-            pool.scope_chunks(&mut out, chunk_rows * n, |idx, chunk| {
-                gemm_rows(a, bt, chunk, k, n, idx * chunk_rows);
-            });
-        }
-    }
-    Tensor::from_vec(vec![m, n], out).expect("gemm output shape")
-}
+use crate::pack::{self, dot_seg};
+use crate::{workspace, ShapeError, Tensor};
 
 impl Tensor {
     /// Matrix product `self (m×k) · rhs (k×n)`.
@@ -118,8 +27,13 @@ impl Tensor {
         }
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let n = rhs.shape()[1];
-        let bt = rhs.transpose();
-        Ok(gemm(self.as_slice(), bt.as_slice(), m, k, n))
+        // Pack B into the transposed panel layout in workspace memory —
+        // returned to the thread-local arena when the product finishes.
+        let mut bt = workspace::take(n * k);
+        pack::pack_transpose(rhs.as_slice(), k, n, &mut bt);
+        let mut out = vec![0.0f32; m * n];
+        pack::gemm_bt(self.as_slice(), &bt, m, k, n, k, &mut out);
+        Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product `self (m×k) · rhsᵀ` where `rhs` is `n×k`.
@@ -137,7 +51,9 @@ impl Tensor {
         }
         let (m, k) = (self.shape()[0], self.shape()[1]);
         let n = rhs.shape()[0];
-        Ok(gemm(self.as_slice(), rhs.as_slice(), m, k, n))
+        let mut out = vec![0.0f32; m * n];
+        pack::gemm_bt(self.as_slice(), rhs.as_slice(), m, k, n, k, &mut out);
+        Tensor::from_vec(vec![m, n], out)
     }
 
     /// Matrix product `selfᵀ · rhs` where `self` is `k×m` and `rhs` is `k×n`.
@@ -156,19 +72,8 @@ impl Tensor {
         // both operands, no transposed copies.
         let (k, m) = (self.shape()[0], self.shape()[1]);
         let n = rhs.shape()[1];
-        pelican_observe::counter_add("tensor.matmul_calls", 1);
-        pelican_observe::counter_add("tensor.matmul_flops", 2 * (m * k * n) as u64);
         let mut out = vec![0.0f32; m * n];
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        match plan(m * k * n, m) {
-            None => matmul_at_rows(a, b, &mut out, k, m, n, 0),
-            Some((pool, chunk_rows)) => {
-                pool.scope_chunks(&mut out, chunk_rows * n, |idx, chunk| {
-                    matmul_at_rows(a, b, chunk, k, m, n, idx * chunk_rows);
-                });
-            }
-        }
+        pack::matmul_at_into(self.as_slice(), rhs.as_slice(), k, m, n, &mut out);
         Tensor::from_vec(vec![m, n], out)
     }
 
@@ -189,17 +94,17 @@ impl Tensor {
         let a = self.as_slice();
         let vs = v.as_slice();
         let mut out = vec![0.0f32; m];
-        match plan(m * k, m) {
+        match pack::plan(m * k, m) {
             None => {
                 for (i, o) in out.iter_mut().enumerate() {
-                    *o = dot(&a[i * k..(i + 1) * k], vs);
+                    *o = dot_seg(&a[i * k..(i + 1) * k], vs, k);
                 }
             }
             Some((pool, chunk_rows)) => {
                 pool.scope_chunks(&mut out, chunk_rows, |idx, chunk| {
                     let row0 = idx * chunk_rows;
                     for (i, o) in chunk.iter_mut().enumerate() {
-                        *o = dot(&a[(row0 + i) * k..(row0 + i + 1) * k], vs);
+                        *o = dot_seg(&a[(row0 + i) * k..(row0 + i + 1) * k], vs, k);
                     }
                 });
             }
@@ -383,6 +288,18 @@ mod tests {
         let a: Vec<f32> = (0..7).map(|v| v as f32).collect();
         let b: Vec<f32> = (0..7).map(|v| (v + 1) as f32).collect();
         let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
-        assert_eq!(super::dot(&a, &b), expect);
+        assert_eq!(dot_seg(&a, &b, 7), expect);
+    }
+
+    #[test]
+    fn matmul_packs_into_workspace_without_output_aliasing() {
+        // Two matmuls back to back reuse the packed-panel workspace buffer;
+        // results must not bleed between calls.
+        let a = t(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]);
+        let c1 = a.matmul(&b).unwrap();
+        let c2 = a.matmul(&b).unwrap();
+        assert_eq!(c1, c2);
+        assert_eq!(c1.as_slice(), &[58., 64., 139., 154.]);
     }
 }

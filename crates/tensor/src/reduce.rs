@@ -69,7 +69,7 @@ impl Tensor {
         if engage {
             let workers = exec.workers.min(n);
             let chunk_cols = n.div_ceil(workers);
-            Pool::new(workers).scope_chunks(&mut out, chunk_cols, |idx, chunk| {
+            Pool::cached(workers).scope_chunks(&mut out, chunk_cols, |idx, chunk| {
                 sum_cols(self.as_slice(), chunk, n, idx * chunk_cols);
             });
         } else {

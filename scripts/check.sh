@@ -27,15 +27,24 @@ PELICAN_THREADS=4 cargo test -q --test pipeline_resilience
 echo "== observability equivalence @ PELICAN_THREADS=1 and 4 =="
 PELICAN_THREADS=1 cargo test -q --test observability
 PELICAN_THREADS=4 cargo test -q --test observability
+echo "== kernel equivalence @ PELICAN_THREADS=1 and 4 =="
+PELICAN_THREADS=1 cargo test -q --test kernel_equivalence
+PELICAN_THREADS=4 cargo test -q --test kernel_equivalence
 cargo clippy --workspace --all-targets -- -D warnings
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 if [[ "${PELICAN_BENCH:-0}" == "1" ]]; then
     cargo bench -p pelican-bench --bench bench_parallel_scaling
     cargo bench -p pelican-bench --bench bench_observe
+    cargo bench -p pelican-bench --bench bench_kernels
 fi
 echo "== BENCH_observe.json well-formed =="
 test -s BENCH_observe.json
 grep -q '"bench": "bench_observe"' BENCH_observe.json
 grep -q '"overhead_inmemory_pct"' BENCH_observe.json
 grep -q '"within_budget": true' BENCH_observe.json
+echo "== BENCH_kernels.json well-formed =="
+test -s BENCH_kernels.json
+grep -q '"bench": "bench_kernels"' BENCH_kernels.json
+grep -q '"gemm_min_speedup"' BENCH_kernels.json
+grep -q '"bit_identical_to_seed": true' BENCH_kernels.json
 echo "all checks passed"

@@ -1,0 +1,182 @@
+//! Equivalence suite for the packed compute core.
+//!
+//! The blocked GEMM (`pelican::tensor::pack`), the im2col `Conv1d` and the
+//! fused `Gru` step each retain their seed kernels as references
+//! (`gemm_bt_reference`, `forward_reference`/`backward_reference`,
+//! `reference_fwd_bwd`). These properties assert the optimized paths are
+//! *bit-identical* to those references — compared through `f32::to_bits`,
+//! so `-0.0` vs `0.0` or NaN-payload drift would fail — across adversarial
+//! shapes (`k = 0`, single rows, non-multiples of the register tile,
+//! ragged segment splits) and at every worker count, with the pool forced
+//! on so tiny shapes still exercise the parallel machinery.
+
+use pelican::nn::{Conv1d, Gru, Layer, Mode};
+use pelican::prelude::*;
+use pelican::runtime::with_exec;
+use pelican::tensor::{pack, SeededRng, Tensor};
+use proptest::prelude::*;
+
+/// Serial baseline, an even split, an odd split, and more workers than
+/// most test shapes have rows.
+const WORKER_COUNTS: [usize; 4] = [1, 2, 3, 7];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+fn raw_bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+fn random_vec(len: usize, rng: &mut SeededRng) -> Vec<f32> {
+    (0..len).map(|_| rng.normal()).collect()
+}
+
+fn random_tensor(shape: Vec<usize>, rng: &mut SeededRng) -> Tensor {
+    let data = random_vec(shape.iter().product(), rng);
+    Tensor::from_vec(shape, data).unwrap()
+}
+
+/// Packed GEMM vs the retained seed kernel, at one (m, k, n, seg).
+fn check_gemm(m: usize, k: usize, n: usize, seg: usize, seed: u64) {
+    let mut rng = SeededRng::new(seed);
+    let a = random_vec(m * k, &mut rng);
+    let bt = random_vec(n * k, &mut rng);
+    let mut want = vec![0.0f32; m * n];
+    pack::gemm_bt_reference(&a, &bt, &mut want, k, n, seg);
+    let want = raw_bits(&want);
+    for workers in WORKER_COUNTS {
+        let cfg = ExecConfig {
+            workers,
+            force_parallel: true,
+        };
+        let got = with_exec(cfg, || {
+            let mut out = vec![0.0f32; m * n];
+            pack::gemm_bt(&a, &bt, m, k, n, seg, &mut out);
+            out
+        });
+        assert_eq!(
+            raw_bits(&got),
+            want,
+            "gemm_bt m={m} k={k} n={n} seg={seg} @ {workers} workers"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic adversarial GEMM shapes.
+// ---------------------------------------------------------------------
+
+#[test]
+fn gemm_empty_reduction_matches_reference() {
+    // k = 0: every output element is an empty dot (exactly 0.0).
+    check_gemm(3, 0, 5, 0, 11);
+}
+
+#[test]
+fn gemm_single_row_matches_reference() {
+    check_gemm(1, 9, 7, 9, 12); // no MR pair, 1×4 + scalar edge only
+}
+
+#[test]
+fn gemm_single_column_matches_reference() {
+    check_gemm(6, 5, 1, 5, 13); // no NR quad anywhere
+}
+
+#[test]
+fn gemm_non_multiple_of_tile_matches_reference() {
+    // 7 rows (odd vs MR=2), 13 cols (13 = 3·4+1 vs NR=4), k=11 (ragged
+    // 4-lane tail), segmented unevenly.
+    check_gemm(7, 11, 13, 3, 14);
+}
+
+#[test]
+fn gemm_wide_panel_split_matches_reference() {
+    // n·k large enough to force more than one column panel.
+    check_gemm(3, 700, 130, 700, 15);
+}
+
+// ---------------------------------------------------------------------
+// Property tests: random shapes, segments and worker counts.
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// Blocked, packed, possibly parallel GEMM is bit-identical to the
+    /// retained serial seed kernel for arbitrary shapes and segment sizes.
+    #[test]
+    fn prop_packed_gemm_matches_reference(
+        (m, k, n) in (1usize..8, 0usize..12, 1usize..10),
+        seg_pick in 0usize..4,
+        seed in 0u64..300,
+    ) {
+        // seg must divide k; sample from the divisors (0 means "full k").
+        let divisors: Vec<usize> = (1..=k).filter(|d| k % d == 0).collect();
+        let seg = if divisors.is_empty() { 0 } else { divisors[seg_pick % divisors.len()] };
+        check_gemm(m, k, n, seg, seed.wrapping_add(31337));
+    }
+
+    /// im2col Conv1d forward/backward (one packed GEMM over the gathered
+    /// patch matrix) is bit-identical to the retained per-tap seed path,
+    /// including the accumulated parameter gradients.
+    #[test]
+    fn prop_conv1d_matches_reference(
+        (batch, seq, cin, cout, kernel) in (1usize..5, 1usize..8, 1usize..5, 1usize..5, 1usize..8),
+        seed in 0u64..150,
+    ) {
+        let mut rng = SeededRng::new(seed.wrapping_add(555));
+        let x = random_tensor(vec![batch, seq, cin], &mut rng);
+        for workers in WORKER_COUNTS {
+            let cfg = ExecConfig { workers, force_parallel: true };
+            with_exec(cfg, || -> Result<(), proptest::test_runner::TestCaseError> {
+                let mut conv = Conv1d::new(cin, cout, kernel, &mut SeededRng::new(97));
+                let want_y = conv.forward_reference(&x);
+                let y = conv.forward(&x, Mode::Train);
+                prop_assert_eq!(bits(&y), bits(&want_y),
+                    "conv fwd b={} t={} cin={} cout={} k={} @ {}",
+                    batch, seq, cin, cout, kernel, workers);
+                let g = random_tensor(y.shape().to_vec(), &mut SeededRng::new(seed ^ 0xC0))
+                ;
+                let (want_dx, want_dw, want_db) = conv.backward_reference(&x, &g);
+                conv.zero_grad();
+                let dx = conv.backward(&g);
+                prop_assert_eq!(bits(&dx), bits(&want_dx), "conv dx @ {}", workers);
+                let params = conv.params_mut();
+                let got: Vec<Vec<u32>> =
+                    params.iter().map(|p| raw_bits(p.grad.as_slice())).collect();
+                prop_assert_eq!(got, vec![bits(&want_dw), bits(&want_db)],
+                    "conv grads @ {}", workers);
+                Ok(())
+            })?;
+        }
+    }
+
+    /// The fused GRU step (batched gate GEMMs + fused elementwise passes)
+    /// is bit-identical to the retained per-gate seed path end to end.
+    #[test]
+    fn prop_gru_matches_reference(
+        (batch, seq, cin, units) in (1usize..5, 1usize..6, 1usize..5, 1usize..6),
+        seed in 0u64..150,
+    ) {
+        let mut rng = SeededRng::new(seed.wrapping_add(777));
+        let x = random_tensor(vec![batch, seq, cin], &mut rng);
+        let g = random_tensor(vec![batch, seq, units], &mut rng);
+        for workers in WORKER_COUNTS {
+            let cfg = ExecConfig { workers, force_parallel: true };
+            with_exec(cfg, || -> Result<(), proptest::test_runner::TestCaseError> {
+                let mut gru = Gru::new(cin, units, &mut SeededRng::new(41));
+                let (want_y, want_dx, want_grads) = gru.reference_fwd_bwd(&x, &g);
+                let y = gru.forward(&x, Mode::Train);
+                prop_assert_eq!(bits(&y), bits(&want_y),
+                    "gru fwd b={} t={} cin={} u={} @ {}", batch, seq, cin, units, workers);
+                gru.zero_grad();
+                let dx = gru.backward(&g);
+                prop_assert_eq!(bits(&dx), bits(&want_dx), "gru dx @ {}", workers);
+                for (p, want) in gru.params_mut().into_iter().zip(&want_grads) {
+                    prop_assert_eq!(raw_bits(p.grad.as_slice()), bits(want),
+                        "gru param grad @ {}", workers);
+                }
+                Ok(())
+            })?;
+        }
+    }
+}
